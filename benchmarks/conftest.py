@@ -1,0 +1,57 @@
+"""Shared machinery for the reproduction benchmarks.
+
+Every ``test_bench_*`` regenerates one of the paper's tables or figures:
+it runs the corresponding :mod:`repro.experiments` module over the full
+17-benchmark suite (quick parameter grids by default), records the runtime
+via pytest-benchmark, prints the paper-style comparison, and saves it under
+``results/``.
+
+All benches share one process-wide :class:`~repro.sim.SuiteRunner`, so
+traces are generated once and repeated (config, benchmark) simulations are
+memoised across benches.  Use ``REPRO_TRACE_SCALE`` to shrink or grow every
+trace, and ``REPRO_FULL_GRIDS=1`` to run the paper's complete parameter
+grids instead of the quick ones.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.sim.suite_runner import shared_runner
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_FULL_GRIDS", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def runner():
+    return shared_runner()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def reproduce(benchmark, runner, results_dir, experiment_id: str):
+    """Run one experiment under pytest-benchmark and persist its rendering."""
+    result = benchmark.pedantic(
+        run_experiment,
+        args=(experiment_id,),
+        kwargs={"runner": runner, "quick": quick_mode()},
+        rounds=1,
+        iterations=1,
+    )
+    rendering = result.render()
+    (results_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
+    print()
+    print(rendering)
+    return result

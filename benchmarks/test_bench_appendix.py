@@ -1,0 +1,7 @@
+"""Reproduction bench: Tables A-1/A-2 — detailed per-benchmark misprediction matrix."""
+
+from .conftest import reproduce
+
+
+def test_bench_appendix(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "appendix")

@@ -1,0 +1,7 @@
+"""Reproduction bench: context-switch extension — degradation under flushes."""
+
+from .conftest import reproduce
+
+
+def test_bench_context_switch(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "context_switch")

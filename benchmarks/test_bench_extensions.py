@@ -1,0 +1,7 @@
+"""Reproduction bench: Section 8.1 — three-component hybrid extension."""
+
+from .conftest import reproduce
+
+
+def test_bench_extensions(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "extensions")

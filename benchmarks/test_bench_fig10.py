@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 10 — history-pattern precision sweep."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig10(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig10")

@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 11 — limited-size fully-associative tables."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig11(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig11")

@@ -1,0 +1,7 @@
+"""Reproduction bench: Figures 12/14 — associativity with concatenated vs interleaved keys."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig12_14(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig12_14")

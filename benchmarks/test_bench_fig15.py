@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 15 — interleaving-scheme ablation."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig15(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig15")

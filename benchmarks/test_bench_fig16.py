@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 16 — best non-hybrid predictor per size/associativity."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig16(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig16")

@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 17 — hybrid path-length combination grid."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig17(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig17")

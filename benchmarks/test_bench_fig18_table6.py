@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 18 / Table 6 — best hybrid vs non-hybrid per total size."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig18_table6(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig18_table6")

@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 2 — unconstrained BTB vs BTB-2bc misprediction rates."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig2(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig2")

@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 5 — history-sharing (s) sweep."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig5(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig5")

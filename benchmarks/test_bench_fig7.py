@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 7 — history-table-sharing (h) sweep."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig7(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig7")

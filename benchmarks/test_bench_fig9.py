@@ -1,0 +1,7 @@
+"""Reproduction bench: Figure 9 — path-length sweep for unconstrained two-level predictors."""
+
+from .conftest import reproduce
+
+
+def test_bench_fig9(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "fig9")

@@ -1,0 +1,7 @@
+"""Reproduction bench: trace-scale ablation — validates the Figure 9 deviation."""
+
+from .conftest import reproduce
+
+
+def test_bench_scaling(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "scaling")

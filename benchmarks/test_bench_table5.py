@@ -1,0 +1,7 @@
+"""Reproduction bench: Table 5 — XOR vs concatenation of the branch address."""
+
+from .conftest import reproduce
+
+
+def test_bench_table5(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "table5")

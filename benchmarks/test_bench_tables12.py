@@ -1,0 +1,7 @@
+"""Reproduction bench: Tables 1 & 2 — workload characteristics of all 17 synthetic benchmarks."""
+
+from .conftest import reproduce
+
+
+def test_bench_tables12(benchmark, runner, results_dir):
+    reproduce(benchmark, runner, results_dir, "tables12")

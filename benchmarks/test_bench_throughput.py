@@ -1,0 +1,47 @@
+"""Simulation-throughput microbenchmarks.
+
+Unlike the reproduction benches (which regenerate paper artefacts once and
+time the whole experiment), these measure the steady-state event rate of
+each predictor family over a fixed trace — useful when optimising the
+simulator's hot loops.
+"""
+
+import pytest
+
+from repro.core import BTBConfig, HybridConfig, TwoLevelConfig, build_predictor
+from repro.workloads import WorkloadConfig, generate_trace
+
+_TRACE = None
+
+
+def bench_trace():
+    global _TRACE
+    if _TRACE is None:
+        _TRACE = generate_trace(WorkloadConfig(name="throughput", events=20_000, seed=3))
+    return _TRACE
+
+
+def run(config):
+    trace = bench_trace()
+    predictor = build_predictor(config)
+
+    def job():
+        predictor.reset()
+        return predictor.run_trace(trace.pcs, trace.targets)
+
+    return job
+
+
+@pytest.mark.parametrize(
+    "label, config",
+    [
+        ("btb", BTBConfig()),
+        ("twolevel-unconstrained-p6", TwoLevelConfig.unconstrained(6)),
+        ("twolevel-4way-1k-p3", TwoLevelConfig.practical(3, 1024, 4)),
+        ("twolevel-tagless-1k-p3", TwoLevelConfig.practical(3, 1024, "tagless")),
+        ("hybrid-4way-1k-p3.1", HybridConfig.dual_path(3, 1, 1024, 4)),
+    ],
+)
+def test_bench_throughput(benchmark, label, config):
+    misses = benchmark(run(config))
+    assert 0 <= misses <= len(bench_trace())

@@ -1,0 +1,83 @@
+"""Domain example: interpreter dispatch and the value of path history.
+
+Bytecode interpreters execute one indirect branch per opcode (the dispatch
+switch), making them the extreme case of the paper's Table 2 C benchmarks
+(xlisp, perl): one or two sites dominate, targets follow the program's
+opcode sequence.  A BTB sees near-random targets; a path-history predictor
+effectively learns the interpreted program's inner loops.
+
+This example builds an xlisp-like dispatch workload and sweeps the path
+length, showing the Figure 9 curve shape on a single program.
+
+Run with::
+
+    python examples/interpreter_dispatch.py
+"""
+
+from repro import TwoLevelConfig, WorkloadConfig, build_predictor, simulate
+from repro.workloads import generate_trace
+
+
+def interpreter(seed: int = 7, opcode_noise: float = 0.002) -> WorkloadConfig:
+    """An interpreter: few sites, opcode stream from nested loops."""
+    return WorkloadConfig(
+        name="interp",
+        events=40_000,
+        seed=seed,
+        description="bytecode interpreter dispatch loop",
+        # "classes" are opcode kinds; loops are the interpreted program's
+        # inner loops.
+        num_classes=24,
+        active_classes=12,
+        virtual_fraction=0.0,
+        fnptr_fraction=0.60,        # handler table dispatch
+        mono_fraction=0.10,
+        cases_per_switch=16,
+        targets_per_fnptr=16,
+        switch_noise=opcode_noise,  # data-dependent handler deviations
+        site_quantiles=((0.90, 2), (0.95, 3), (0.99, 5), (1.00, 12)),
+        flow_count=6,
+        flow_length_mean=2.0,       # ~2 indirect branches per opcode
+        repeat_prob=0.25,
+        stable_run_mean=6.0,
+        loop_count=3,
+        loop_segments=12,           # interpreted inner loops of ~12 opcodes
+        loop_repeat_prob=0.99,
+        class_flow_affinity=0.998,
+        class_noise=0.001,
+        phase_length_items=20_000,
+        instructions_per_indirect=69,
+        conditionals_per_indirect=11,
+    )
+
+
+def main() -> None:
+    trace = generate_trace(interpreter())
+    print(f"interpreter trace: {len(trace):,} dispatches over "
+          f"{trace.distinct_sites()} sites\n")
+    print("path length vs misprediction (unconstrained tables):")
+    print(f"{'p':>3s} {'miss %':>8s}   ")
+    best = (None, 100.0)
+    for path in range(0, 13):
+        config = TwoLevelConfig.unconstrained(path)
+        rate = simulate(build_predictor(config), trace).misprediction_rate
+        bar = "#" * int(rate)
+        print(f"{path:3d} {rate:7.2f}%  {bar}")
+        if rate < best[1]:
+            best = (path, rate)
+    print(f"\nbest path length: p={best[0]} at {best[1]:.2f}% — the dispatch "
+          "history pinpoints the interpreted program's position in its loops.")
+
+    print("\nsame sweep with a realistic 512-entry 4-way table:")
+    for path in (0, 1, 2, 3, 5, 8):
+        config = TwoLevelConfig.practical(path, 512, 4)
+        rate = simulate(build_predictor(config), trace).misprediction_rate
+        print(f"  p={path}: {rate:6.2f}%")
+    print(
+        "\nLong paths lose more under a small table (capacity misses), "
+        "exactly the paper's section 5.1 effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

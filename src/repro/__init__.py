@@ -1,0 +1,85 @@
+"""repro — a reproduction of Driesen & Hölzle's *Accurate Indirect Branch
+Prediction* (UCSB TRCS97-19 / ISCA 1998).
+
+The package has four layers:
+
+* :mod:`repro.core` — the predictor hardware models (BTBs, two-level
+  predictors, hybrids) that are the paper's contribution;
+* :mod:`repro.workloads` — a synthetic program-execution substrate that
+  generates indirect-branch traces with the statistical structure of the
+  paper's 17 benchmark programs;
+* :mod:`repro.sim` — the trace-driven simulation engine, group averaging,
+  and parameter-sweep harness;
+* :mod:`repro.experiments` — one module per paper table/figure, each
+  regenerating the published result alongside the paper's numbers.
+
+Quickstart::
+
+    from repro import TwoLevelConfig, build_predictor, simulate
+    from repro.workloads import generate_trace, workload_config
+
+    trace = generate_trace(workload_config("ixx"))
+    predictor = build_predictor(TwoLevelConfig.practical(3, 1024, 4))
+    print(simulate(predictor, trace))
+"""
+
+from .core import (
+    BranchTargetBuffer,
+    BTBConfig,
+    HybridConfig,
+    HybridPredictor,
+    IndirectBranchPredictor,
+    PredictorConfig,
+    TwoLevelConfig,
+    TwoLevelPredictor,
+    build_predictor,
+    config_from_spec,
+    predictor_from_spec,
+)
+from .errors import (
+    ConfigError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+from .sim import SimulationResult, SuiteRunner, shared_runner, simulate, sweep
+from .workloads import (
+    Trace,
+    TraceMetadata,
+    WorkloadConfig,
+    generate_trace,
+    workload_config,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BranchTargetBuffer",
+    "BTBConfig",
+    "ConfigError",
+    "ExperimentError",
+    "HybridConfig",
+    "HybridPredictor",
+    "IndirectBranchPredictor",
+    "PredictorConfig",
+    "ReproError",
+    "SimulationError",
+    "SimulationResult",
+    "SuiteRunner",
+    "Trace",
+    "TraceError",
+    "TraceMetadata",
+    "TwoLevelConfig",
+    "TwoLevelPredictor",
+    "WorkloadConfig",
+    "__version__",
+    "build_predictor",
+    "config_from_spec",
+    "generate_trace",
+    "predictor_from_spec",
+    "shared_runner",
+    "simulate",
+    "sweep",
+    "workload_config",
+]

@@ -1,0 +1,113 @@
+"""Command-line interface: ``python -m repro``.
+
+Subcommands:
+
+``experiments [IDS...]``
+    Run reproduction experiments (all by default) and print the
+    paper-style comparisons.  ``--full`` uses the paper's complete
+    parameter grids; ``--out DIR`` also writes each rendering to a file.
+
+``simulate SPEC [BENCHMARKS...]``
+    Simulate one predictor spec (see :mod:`repro.core.factory`) over the
+    suite and print per-benchmark and group misprediction rates.
+
+``trace BENCHMARK FILE``
+    Generate a benchmark trace and write it to ``FILE`` (binary format, or
+    text if the name ends in ``.txt``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core.factory import config_from_spec
+from .experiments import experiment_ids, run_experiment
+from .sim.reporting import format_table
+from .sim.suite_runner import shared_runner
+from .workloads import generate_trace, save_trace, save_trace_text, workload_config
+from .workloads.suite import GROUPS, benchmark_names
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ids = args.ids or experiment_ids()
+    runner = shared_runner()
+    out_dir: Optional[Path] = Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for experiment_id in ids:
+        result = run_experiment(experiment_id, runner=runner, quick=not args.full)
+        rendering = result.render()
+        print(rendering)
+        print()
+        if out_dir is not None:
+            (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = config_from_spec(args.spec)
+    runner = shared_runner()
+    names = args.benchmarks or list(benchmark_names())
+    rates = runner.rates_with_groups(config, names)
+    rows = [[name, round(rate, 2)] for name, rate in rates.items()
+            if name not in GROUPS]
+    rows += [[name, round(rate, 2)] for name, rate in rates.items()
+             if name in GROUPS]
+    print(format_table(["benchmark", "miss %"], rows,
+                       title=f"{config.label} misprediction rates"))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    trace = generate_trace(workload_config(args.benchmark, args.scale))
+    if args.file.endswith(".txt"):
+        save_trace_text(trace, args.file)
+    else:
+        save_trace(trace, args.file)
+    print(f"wrote {len(trace):,} events of {trace.name!r} to {args.file}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Accurate Indirect Branch Prediction' "
+                    "(Driesen & Hölzle, ISCA 1998).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="run reproduction experiments")
+    experiments.add_argument("ids", nargs="*", metavar="ID",
+                             help=f"experiment ids (default: all; known: "
+                                  f"{', '.join(experiment_ids())})")
+    experiments.add_argument("--full", action="store_true",
+                             help="run the paper's full parameter grids")
+    experiments.add_argument("--out", help="directory for rendered results")
+    experiments.set_defaults(handler=_cmd_experiments)
+
+    simulate = subparsers.add_parser(
+        "simulate", help="simulate one predictor spec over the suite")
+    simulate.add_argument("spec", help='e.g. "hybrid:p1=3,p2=1,entries=1024,assoc=4"')
+    simulate.add_argument("benchmarks", nargs="*", help="benchmark subset")
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    trace = subparsers.add_parser("trace", help="generate and save a trace")
+    trace.add_argument("benchmark", choices=benchmark_names())
+    trace.add_argument("file", help="output path (.txt for text format)")
+    trace.add_argument("--scale", type=float, default=None,
+                       help="trace length multiplier")
+    trace.set_defaults(handler=_cmd_trace)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Analysis utilities: miss decomposition and execution-overhead modelling."""
+
+from .breakdown import (
+    MissBreakdown,
+    SiteReport,
+    decompose_misses,
+    per_site_breakdown,
+    warmup_split,
+)
+from .overhead import (
+    MachineModel,
+    OverheadReport,
+    estimate_overhead,
+    indirect_dominance_threshold,
+)
+
+__all__ = [
+    "MachineModel",
+    "MissBreakdown",
+    "OverheadReport",
+    "SiteReport",
+    "decompose_misses",
+    "estimate_overhead",
+    "indirect_dominance_threshold",
+    "per_site_breakdown",
+    "warmup_split",
+]

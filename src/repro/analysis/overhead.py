@@ -1,0 +1,125 @@
+"""Execution-overhead model: from misprediction rates to lost cycles.
+
+The paper motivates indirect-branch prediction through Chang et al.'s
+[CHP97] finding that a better indirect predictor cuts *perl*'s execution
+time by 14% on a wide-issue machine, and through the arithmetic of
+section 1: "if indirect branches are mispredicted 12 times more frequently
+(36% vs. 3% miss ratio), indirect branch misses will dominate conditional
+branch misses as long as indirect branches occur more frequently than
+every 12 conditional branches."
+
+This module implements that arithmetic as a small analytical pipeline
+model so predictor comparisons can be expressed in cycles-per-instruction
+overhead rather than raw misprediction percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigError
+from ..workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A simple front-end cost model.
+
+    Attributes:
+        misprediction_penalty: pipeline refill cycles per mispredicted
+            branch (the paper era used ~4-10; modern cores 15-20).
+        base_cpi: cycles per instruction with perfect branch prediction.
+        conditional_miss_rate: assumed conditional-branch misprediction
+            percentage (the paper quotes ~3% for good 1990s predictors).
+    """
+
+    misprediction_penalty: float = 8.0
+    base_cpi: float = 1.0
+    conditional_miss_rate: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.misprediction_penalty <= 0:
+            raise ConfigError("misprediction penalty must be positive")
+        if self.base_cpi <= 0:
+            raise ConfigError("base CPI must be positive")
+        if not 0.0 <= self.conditional_miss_rate <= 100.0:
+            raise ConfigError("conditional miss rate must be a percentage")
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """Cycle overhead attributable to branch mispredictions."""
+
+    benchmark: str
+    indirect_cpi_overhead: float
+    conditional_cpi_overhead: float
+    base_cpi: float
+
+    @property
+    def total_cpi(self) -> float:
+        return (
+            self.base_cpi
+            + self.indirect_cpi_overhead
+            + self.conditional_cpi_overhead
+        )
+
+    @property
+    def indirect_share(self) -> float:
+        """Fraction of all misprediction overhead caused by indirect branches."""
+        total = self.indirect_cpi_overhead + self.conditional_cpi_overhead
+        return self.indirect_cpi_overhead / total if total else 0.0
+
+    def slowdown_versus(self, other: "OverheadReport") -> float:
+        """Relative execution time of this configuration vs another."""
+        return self.total_cpi / other.total_cpi
+
+
+def estimate_overhead(
+    trace: Trace,
+    indirect_miss_rate: float,
+    machine: MachineModel = MachineModel(),
+) -> OverheadReport:
+    """Estimate CPI overhead from an indirect misprediction percentage.
+
+    Uses the trace's instructions-per-indirect and conditionals-per-
+    indirect ratios (the paper's Table 1/2 columns) to weight the branch
+    frequencies.
+    """
+    if not 0.0 <= indirect_miss_rate <= 100.0:
+        raise ConfigError("indirect miss rate must be a percentage")
+    instructions_per_indirect = trace.instructions_per_indirect
+    if instructions_per_indirect <= 0:
+        raise ConfigError("trace has no instruction count metadata")
+    indirect_misses_per_instruction = (indirect_miss_rate / 100.0) / (
+        instructions_per_indirect
+    )
+    conditionals_per_instruction = (
+        trace.conditionals_per_indirect / instructions_per_indirect
+    )
+    conditional_misses_per_instruction = (
+        machine.conditional_miss_rate / 100.0
+    ) * conditionals_per_instruction
+    return OverheadReport(
+        benchmark=trace.name,
+        indirect_cpi_overhead=(
+            indirect_misses_per_instruction * machine.misprediction_penalty
+        ),
+        conditional_cpi_overhead=(
+            conditional_misses_per_instruction * machine.misprediction_penalty
+        ),
+        base_cpi=machine.base_cpi,
+    )
+
+
+def indirect_dominance_threshold(
+    indirect_miss_rate: float, conditional_miss_rate: float
+) -> float:
+    """Conditionals-per-indirect below which indirect misses dominate.
+
+    The paper's section 1 example: at 36% vs 3% miss rates the threshold is
+    12 — programs executing fewer than 12 conditional branches per indirect
+    branch lose more cycles to indirect branches.
+    """
+    if conditional_miss_rate <= 0:
+        raise ConfigError("conditional miss rate must be positive")
+    return indirect_miss_rate / conditional_miss_rate

@@ -1,0 +1,93 @@
+"""Predictor hardware models: the paper's contribution.
+
+Public surface::
+
+    from repro.core import (
+        BTBConfig, TwoLevelConfig, HybridConfig,
+        BranchTargetBuffer, TwoLevelPredictor, HybridPredictor,
+        build_predictor, predictor_from_spec,
+    )
+"""
+
+from .base import IndirectBranchPredictor, default_run_trace
+from .bits import (
+    ADDRESS_BITS,
+    DEFAULT_LOW_BIT,
+    PATTERN_BIT_BUDGET,
+    InterleavePermutation,
+    bits_per_element,
+    fold_xor,
+    mask,
+    select_bits,
+)
+from .btb import BranchTargetBuffer
+from .config import (
+    Associativity,
+    BTBConfig,
+    HybridConfig,
+    Precision,
+    PredictorConfig,
+    TwoLevelConfig,
+)
+from .counters import SaturatingCounter
+from .factory import build_predictor, config_from_spec, predictor_from_spec
+from .history import HistoryRegisterFile
+from .hybrid import HybridPredictor
+from .keys import KeyBuilder
+from .metapredictors import BPSTMetapredictor, ConfidenceMetapredictor
+from .nextbranch import NextBranchPredictor, RunAheadReport
+from .ras import ReturnAddressStack
+from .shared import SharedEntry, SharedHybridConfig, SharedTableHybridPredictor
+from .tables import (
+    BasePredictionTable,
+    Entry,
+    FullyAssociativeTable,
+    SetAssociativeTable,
+    TaglessTable,
+    UnconstrainedTable,
+    make_table,
+)
+from .twolevel import TwoLevelPredictor
+
+__all__ = [
+    "ADDRESS_BITS",
+    "Associativity",
+    "BasePredictionTable",
+    "BPSTMetapredictor",
+    "BranchTargetBuffer",
+    "BTBConfig",
+    "ConfidenceMetapredictor",
+    "DEFAULT_LOW_BIT",
+    "Entry",
+    "FullyAssociativeTable",
+    "HistoryRegisterFile",
+    "HybridConfig",
+    "HybridPredictor",
+    "IndirectBranchPredictor",
+    "InterleavePermutation",
+    "KeyBuilder",
+    "NextBranchPredictor",
+    "PATTERN_BIT_BUDGET",
+    "Precision",
+    "PredictorConfig",
+    "ReturnAddressStack",
+    "RunAheadReport",
+    "SaturatingCounter",
+    "SharedEntry",
+    "SharedHybridConfig",
+    "SharedTableHybridPredictor",
+    "SetAssociativeTable",
+    "TaglessTable",
+    "TwoLevelConfig",
+    "TwoLevelPredictor",
+    "UnconstrainedTable",
+    "bits_per_element",
+    "build_predictor",
+    "config_from_spec",
+    "default_run_trace",
+    "fold_xor",
+    "make_table",
+    "mask",
+    "predictor_from_spec",
+    "select_bits",
+]

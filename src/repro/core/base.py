@@ -1,0 +1,60 @@
+"""The predictor interface shared by every prediction mechanism.
+
+A predictor sees exactly what the hardware would see: a stream of
+``(branch PC, resolved target)`` pairs for the program's indirect branches
+(procedure returns excluded, as in the paper — they are handled by a return
+address stack, see :mod:`repro.core.ras`).
+
+The protocol is two-phase per branch, mirroring the fetch/resolve split:
+
+``predict(pc)``
+    Called at fetch time; returns the predicted target address or ``None``
+    when the predictor has no prediction (counted as a misprediction, since
+    the front end must then stall or fall through).
+
+``update(pc, target)``
+    Called at resolve time with the actual target; updates tables, history
+    registers, and metaprediction state.
+
+``run_trace(pcs, targets)``
+    Bulk predict+update over a whole trace; returns the misprediction
+    count.  Semantically identical to calling ``predict``/``update`` in a
+    loop, but implemented with bound locals for simulation speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+
+@runtime_checkable
+class IndirectBranchPredictor(Protocol):
+    """Structural interface implemented by all predictors in this library."""
+
+    def predict(self, pc: int) -> Optional[int]:
+        """Predicted target for the branch at ``pc``, or ``None``."""
+
+    def update(self, pc: int, target: int) -> None:
+        """Record the resolved ``target`` of the branch at ``pc``."""
+
+    def run_trace(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        """Predict+update over a trace; return the number of mispredictions."""
+
+    def reset(self) -> None:
+        """Clear all state, as after a context switch with a cold predictor."""
+
+
+def default_run_trace(
+    predictor: "IndirectBranchPredictor",
+    pcs: Sequence[int],
+    targets: Sequence[int],
+) -> int:
+    """Reference trace loop used by tests to validate fast paths."""
+    misses = 0
+    predict = predictor.predict
+    update = predictor.update
+    for pc, target in zip(pcs, targets):
+        if predict(pc) != target:
+            misses += 1
+        update(pc, target)
+    return misses

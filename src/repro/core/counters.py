@@ -1,0 +1,84 @@
+"""Saturating counters used for hysteresis and metaprediction.
+
+The paper uses two kinds of counters:
+
+* a one-bit *miss bit* implementing the "two-bit counter" (2bc) update rule
+  for target addresses — an entry's target is only replaced after two
+  consecutive mispredictions (section 3.1, footnote: "for an indirect
+  branch, one bit suffices");
+* an *n-bit confidence counter* per table entry that tracks how often the
+  entry predicted correctly, used by hybrid predictors to select a component
+  (section 6.1).  Replacing an entry resets its counter to zero.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+
+class SaturatingCounter:
+    """An n-bit saturating up/down counter.
+
+    The counter value is clamped to ``[0, 2**bits - 1]``.  ``increment`` is
+    called when the associated prediction was correct, ``decrement`` when it
+    was wrong, so higher values mean higher confidence.
+    """
+
+    __slots__ = ("bits", "maximum", "value")
+
+    def __init__(self, bits: int, initial: int = 0) -> None:
+        if bits < 1:
+            raise ConfigError(f"counter width must be at least 1 bit, got {bits}")
+        self.bits = bits
+        self.maximum = (1 << bits) - 1
+        if not 0 <= initial <= self.maximum:
+            raise ConfigError(
+                f"initial value {initial} outside [0, {self.maximum}] for a "
+                f"{bits}-bit counter"
+            )
+        self.value = initial
+
+    def increment(self) -> int:
+        """Count a correct outcome; returns the new value."""
+        if self.value < self.maximum:
+            self.value += 1
+        return self.value
+
+    def decrement(self) -> int:
+        """Count an incorrect outcome; returns the new value."""
+        if self.value > 0:
+            self.value -= 1
+        return self.value
+
+    def record(self, correct: bool) -> int:
+        """Update in the direction implied by ``correct``."""
+        return self.increment() if correct else self.decrement()
+
+    def reset(self) -> None:
+        """Reset to zero, as done when a table entry is replaced."""
+        self.value = 0
+
+    @property
+    def is_saturated_high(self) -> bool:
+        return self.value == self.maximum
+
+    @property
+    def is_saturated_low(self) -> bool:
+        return self.value == 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SaturatingCounter(bits={self.bits}, value={self.value})"
+
+
+def saturating_increment(value: int, maximum: int) -> int:
+    """Functional form of :meth:`SaturatingCounter.increment`.
+
+    The table hot loops store counter values as plain ints in entry slots for
+    speed; these helpers keep the saturation semantics in one place.
+    """
+    return value + 1 if value < maximum else maximum
+
+
+def saturating_decrement(value: int) -> int:
+    """Functional form of :meth:`SaturatingCounter.decrement`."""
+    return value - 1 if value > 0 else 0

@@ -1,0 +1,131 @@
+"""Hybrid indirect-branch predictors (section 6).
+
+A hybrid predictor runs two (or, as a §8.1 extension, more) component
+two-level predictors in parallel — typically a *short* path length for fast
+adaptation and a *long* one for deeper correlations — and arbitrates with a
+metapredictor.  Every component sees every branch: all components update
+their tables and histories on every resolution; only target *selection*
+differs.
+
+The paper's headline configuration is two same-geometry components with
+2-bit per-entry confidence counters; e.g. p1=3/p2=1 at 1K entries 4-way
+reaches 8.98% average misprediction vs 9.82% for the best non-hybrid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .config import HybridConfig
+from .metapredictors import BPSTMetapredictor, ConfidenceMetapredictor
+from .twolevel import TwoLevelPredictor
+
+
+class HybridPredictor:
+    """A multi-component hybrid with confidence or BPST metaprediction."""
+
+    def __init__(self, config: HybridConfig) -> None:
+        self.config = config
+        self.components: List[TwoLevelPredictor] = [
+            TwoLevelPredictor(component) for component in config.components
+        ]
+        if config.metapredictor == "bpst":
+            self._bpst: Optional[BPSTMetapredictor] = BPSTMetapredictor(
+                config.selector_bits, config.selector_entries
+            )
+        else:
+            self._bpst = None
+        self._confidence = ConfidenceMetapredictor()
+
+    # -- single-branch interface -----------------------------------------
+
+    def predict(self, pc: int) -> Optional[int]:
+        entries = [component.probe(pc) for component in self.components]
+        if self._bpst is not None:
+            chosen = self._bpst.select(pc)
+            entry = entries[chosen]
+            if entry is None:
+                # The selected component has nothing; fall back to the other
+                # so a BPST hybrid is never worse than "no prediction" when
+                # one component does have an entry.
+                entry = entries[1 - chosen]
+            return entry.target if entry is not None else None
+        index = self._confidence.select(entries)
+        return entries[index].target if index is not None else None
+
+    def update(self, pc: int, target: int) -> None:
+        if self._bpst is not None:
+            predictions = [component.predict(pc) for component in self.components]
+            self._bpst.record(
+                pc, predictions[0] == target, predictions[1] == target
+            )
+        for component in self.components:
+            component.update(pc, target)
+
+    # -- bulk simulation ----------------------------------------------------
+
+    def run_trace(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        if self._bpst is not None:
+            return self._run_trace_bpst(pcs, targets)
+        return self._run_trace_confidence(pcs, targets)
+
+    def _run_trace_confidence(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        misses = 0
+        components = self.components
+        key_fns = [component.key_for for component in components]
+        probes = [component.table.probe for component in components]
+        commits = [component.table.commit for component in components]
+        records = [component.history.record for component in components]
+        count = len(components)
+        for pc, target in zip(pcs, targets):
+            predicted: Optional[int] = None
+            best_confidence = -1
+            keys = [key_fns[index](pc) for index in range(count)]
+            for index in range(count):
+                entry = probes[index](keys[index])
+                if entry is not None and entry.confidence > best_confidence:
+                    predicted = entry.target
+                    best_confidence = entry.confidence
+            if predicted != target:
+                misses += 1
+            for index in range(count):
+                commits[index](keys[index], target)
+                records[index](pc, target)
+        return misses
+
+    def _run_trace_bpst(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        misses = 0
+        bpst = self._bpst
+        assert bpst is not None
+        first, second = self.components[0], self.components[1]
+        for pc, target in zip(pcs, targets):
+            key0 = first.key_for(pc)
+            key1 = second.key_for(pc)
+            entry0 = first.table.probe(key0)
+            entry1 = second.table.probe(key1)
+            if bpst.select(pc) == 0:
+                entry = entry0 if entry0 is not None else entry1
+            else:
+                entry = entry1 if entry1 is not None else entry0
+            predicted = entry.target if entry is not None else None
+            if predicted != target:
+                misses += 1
+            bpst.record(
+                pc,
+                entry0 is not None and entry0.target == target,
+                entry1 is not None and entry1.target == target,
+            )
+            first.table.commit(key0, target)
+            second.table.commit(key1, target)
+            first.history.record(pc, target)
+            second.history.record(pc, target)
+        return misses
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()
+        if self._bpst is not None:
+            self._bpst.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HybridPredictor({self.config.label})"

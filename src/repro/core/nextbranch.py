@@ -1,0 +1,147 @@
+"""Next-branch prediction (the paper's final section 8.1 idea).
+
+"A predictor could predict not only the target of a branch but also the
+address of the next indirect branch to be executed.  This disambiguates
+branches that lie on different conditional branch control flow paths but
+share the same indirect branch path, and allows a predictor to run, in
+principle, arbitrarily far ahead of execution."
+
+:class:`NextBranchPredictor` implements the mechanism: entries store both
+the predicted target and the PC of the next indirect branch, learned from
+the stream itself (each event trains the previous event's entry with its
+own PC).  ``run_trace`` reports how often both predictions were right —
+the condition under which the front end could chain predictions and run
+ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .bits import bits_per_element
+from .history import HistoryRegisterFile
+from .keys import KeyBuilder
+
+
+class _ChainEntry:
+    __slots__ = ("target", "next_pc", "miss_bit")
+
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.next_pc: Optional[int] = None
+        self.miss_bit = 0
+
+
+@dataclass(frozen=True)
+class RunAheadReport:
+    """Outcome of a next-branch prediction run."""
+
+    events: int
+    target_misses: int
+    next_pc_misses: int
+    chained_hits: int
+
+    @property
+    def target_miss_rate(self) -> float:
+        return 100.0 * self.target_misses / self.events if self.events else 0.0
+
+    @property
+    def next_pc_miss_rate(self) -> float:
+        return 100.0 * self.next_pc_misses / self.events if self.events else 0.0
+
+    @property
+    def chain_rate(self) -> float:
+        """Percentage of events where target AND next branch were both right."""
+        return 100.0 * self.chained_hits / self.events if self.events else 0.0
+
+
+class NextBranchPredictor:
+    """A two-level predictor whose entries also predict the next branch PC."""
+
+    def __init__(self, path_length: int = 3, pattern_budget: int = 24) -> None:
+        if path_length < 0:
+            raise ConfigError(f"path length must be non-negative, got {path_length}")
+        self.path_length = path_length
+        width = bits_per_element(max(path_length, 1), pattern_budget)
+        self._history = HistoryRegisterFile(
+            path_length=path_length, bits_per_target=width
+        )
+        self._keys = KeyBuilder(
+            path_length=path_length, bits_per_target=width, address_mode="xor"
+        )
+        self._entries: Dict[int, _ChainEntry] = {}
+        self._previous_key: Optional[int] = None
+
+    def predict(self, pc: int) -> Tuple[Optional[int], Optional[int]]:
+        """(predicted target, predicted next indirect-branch PC)."""
+        entry = self._entries.get(self._keys.key(pc, self._history.pattern_for(pc)))
+        if entry is None:
+            return None, None
+        return entry.target, entry.next_pc
+
+    def update(self, pc: int, target: int) -> None:
+        key = self._keys.key(pc, self._history.pattern_for(pc))
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _ChainEntry(target)
+            self._entries[key] = entry
+        elif entry.target != target:
+            if entry.miss_bit:
+                entry.target = target
+                entry.miss_bit = 0
+            else:
+                entry.miss_bit = 1
+        else:
+            entry.miss_bit = 0
+        # Teach the previous branch's entry that *this* branch followed it.
+        if self._previous_key is not None:
+            previous = self._entries.get(self._previous_key)
+            if previous is not None:
+                previous.next_pc = pc
+        self._previous_key = key
+        self._history.record(pc, target)
+
+    def run_trace(
+        self, pcs: Sequence[int], targets: Sequence[int]
+    ) -> RunAheadReport:
+        """Single-pass evaluation of target and next-branch predictions.
+
+        An event's next-PC prediction is verified when the *following*
+        event arrives; the final event's next prediction is unverifiable
+        and excluded.  A chained hit means an event predicted both its own
+        target and the identity of the next indirect branch correctly —
+        the run-ahead condition.
+        """
+        target_misses = 0
+        next_misses = 0
+        chained = 0
+        have_pending = False
+        pending_next: Optional[int] = None
+        pending_target_ok = False
+        for pc, target in zip(pcs, targets):
+            if have_pending:
+                if pending_next != pc:
+                    next_misses += 1
+                elif pending_target_ok:
+                    chained += 1
+            predicted_target, predicted_next = self.predict(pc)
+            target_ok = predicted_target == target
+            if not target_ok:
+                target_misses += 1
+            have_pending = True
+            pending_next = predicted_next
+            pending_target_ok = target_ok
+            self.update(pc, target)
+        return RunAheadReport(
+            events=len(pcs),
+            target_misses=target_misses,
+            next_pc_misses=next_misses,
+            chained_hits=chained,
+        )
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._history.reset()
+        self._previous_key = None

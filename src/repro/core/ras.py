@@ -1,0 +1,65 @@
+"""Return address stack (RAS).
+
+The paper excludes procedure returns from its traces "because they can be
+predicted accurately with a return address stack [KE91]" (section 2).  We
+implement the mechanism itself so the workload layer can *demonstrate* that
+exclusion rather than assume it: the synthetic programs emit call/return
+events, the RAS predicts the returns, and only the remaining indirect
+branches enter the predictor traces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ConfigError
+
+
+class ReturnAddressStack:
+    """A fixed-depth circular return address stack.
+
+    On overflow the oldest entry is overwritten (standard hardware
+    behaviour); on underflow prediction fails.  Depth 0 is permitted and
+    never predicts, which models a machine without a RAS.
+    """
+
+    def __init__(self, depth: int = 16) -> None:
+        if depth < 0:
+            raise ConfigError(f"RAS depth must be non-negative, got {depth}")
+        self.depth = depth
+        self._stack: List[int] = [0] * depth
+        self._top = 0      # index one past the most recent push
+        self._count = 0    # live entries, <= depth
+
+    def push(self, return_address: int) -> None:
+        """Record the return address of a call being executed."""
+        if self.depth == 0:
+            return
+        self._stack[self._top] = return_address
+        self._top = (self._top + 1) % self.depth
+        if self._count < self.depth:
+            self._count += 1
+
+    def predict_return(self) -> Optional[int]:
+        """Peek at the predicted return target, or ``None`` when empty."""
+        if self._count == 0:
+            return None
+        return self._stack[(self._top - 1) % self.depth]
+
+    def pop(self) -> Optional[int]:
+        """Consume the top entry at a return; returns the prediction."""
+        if self._count == 0:
+            return None
+        self._top = (self._top - 1) % self.depth
+        self._count -= 1
+        return self._stack[self._top]
+
+    def reset(self) -> None:
+        self._top = 0
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ReturnAddressStack(depth={self.depth}, live={self._count})"

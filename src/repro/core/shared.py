@@ -1,0 +1,182 @@
+"""Shared-table hybrid prediction (the paper's section 8.1 proposal).
+
+The paper's future work sketches a hybrid whose components *share one
+history table*: "Entries can be augmented with a 'chosen' counter, which
+keeps track of the number of times an entry's prediction is used by the
+hybrid predictor.  This counter is consulted when updating table entries,
+so that seldom used entries can be recuperated by a different component,
+for better use of available hardware."
+
+:class:`SharedTableHybridPredictor` implements exactly that: every
+component (a path length with its own history register and key builder)
+probes and updates one set-associative table whose replacement policy
+evicts the way with the lowest chosen counter — so storage flows toward
+whichever component is actually winning predictions for each key
+neighbourhood.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .bits import bits_per_element
+from .config import Associativity, _validate_associativity, _validate_entries
+from .history import HistoryRegisterFile
+from .keys import KeyBuilder
+from .tables import UPDATE_RULES
+
+
+class SharedEntry:
+    """A shared-table entry: target, hysteresis, confidence, chosen count."""
+
+    __slots__ = ("target", "miss_bit", "confidence", "chosen")
+
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.miss_bit = 0
+        self.confidence = 0
+        self.chosen = 0
+
+
+@dataclass(frozen=True)
+class SharedHybridConfig:
+    """A shared-table hybrid: N path lengths over one table."""
+
+    path_lengths: Tuple[int, ...] = (1, 5)
+    num_entries: int = 1024
+    associativity: Associativity = 4
+    update_rule: str = "2bc"
+    confidence_bits: int = 2
+    chosen_bits: int = 4
+    pattern_budget: int = 24
+
+    def __post_init__(self) -> None:
+        if len(self.path_lengths) < 2:
+            raise ConfigError("a shared hybrid needs at least two path lengths")
+        if len(set(self.path_lengths)) != len(self.path_lengths):
+            raise ConfigError("component path lengths must be distinct")
+        _validate_entries(self.num_entries)
+        if self.num_entries is None:
+            raise ConfigError("a shared hybrid table must be size-constrained")
+        _validate_associativity(self.num_entries, self.associativity)
+        if isinstance(self.associativity, str):
+            raise ConfigError(
+                "shared hybrids use a tagged set-associative table; "
+                f"got associativity {self.associativity!r}"
+            )
+        if self.update_rule not in UPDATE_RULES:
+            raise ConfigError(f"unknown update rule {self.update_rule!r}")
+        if self.confidence_bits < 1 or self.chosen_bits < 1:
+            raise ConfigError("counter widths must be >= 1 bit")
+
+    @property
+    def label(self) -> str:
+        paths = ".".join(str(p) for p in self.path_lengths)
+        return f"shared-hybrid(p={paths},{self.associativity},{self.num_entries})"
+
+
+class SharedTableHybridPredictor:
+    """Multiple path-length components arbitrating over one table."""
+
+    def __init__(self, config: SharedHybridConfig) -> None:
+        self.config = config
+        self._build()
+
+    def _build(self) -> None:
+        config = self.config
+        self._histories: List[HistoryRegisterFile] = []
+        self._keys: List[KeyBuilder] = []
+        for path in config.path_lengths:
+            width = bits_per_element(path, config.pattern_budget)
+            self._histories.append(
+                HistoryRegisterFile(path_length=path, bits_per_target=width)
+            )
+            self._keys.append(
+                KeyBuilder(
+                    path_length=path,
+                    bits_per_target=width,
+                    address_mode="xor",
+                    interleave="reverse",
+                )
+            )
+        self.num_sets = config.num_entries // int(config.associativity)
+        self._index_bits = self.num_sets.bit_length() - 1
+        self._index_mask = self.num_sets - 1
+        self._sets: List[Dict[int, SharedEntry]] = [
+            dict() for _ in range(self.num_sets)
+        ]
+        self._confidence_max = (1 << config.confidence_bits) - 1
+        self._chosen_max = (1 << config.chosen_bits) - 1
+
+    # -- table access -------------------------------------------------------
+
+    def _probe(self, key: int) -> Optional[SharedEntry]:
+        return self._sets[key & self._index_mask].get(key >> self._index_bits)
+
+    def _commit(self, key: int, actual_target: int) -> None:
+        ways = self._sets[key & self._index_mask]
+        tag = key >> self._index_bits
+        entry = ways.get(tag)
+        if entry is not None:
+            if entry.target == actual_target:
+                entry.miss_bit = 0
+                if entry.confidence < self._confidence_max:
+                    entry.confidence += 1
+            else:
+                if entry.confidence > 0:
+                    entry.confidence -= 1
+                if self.config.update_rule == "always" or entry.miss_bit:
+                    entry.target = actual_target
+                    entry.miss_bit = 0
+                else:
+                    entry.miss_bit = 1
+            return
+        if len(ways) >= int(self.config.associativity):
+            # Recuperate the least-chosen entry (the paper's 8.1 policy):
+            # storage drains away from components that never win.
+            victim = min(ways, key=lambda way: ways[way].chosen)
+            del ways[victim]
+        ways[tag] = SharedEntry(actual_target)
+
+    # -- prediction ---------------------------------------------------------
+
+    def predict(self, pc: int) -> Optional[int]:
+        best_entry: Optional[SharedEntry] = None
+        best_confidence = -1
+        for history, keys in zip(self._histories, self._keys):
+            entry = self._probe(keys.key(pc, history.pattern_for(pc)))
+            if entry is not None and entry.confidence > best_confidence:
+                best_entry = entry
+                best_confidence = entry.confidence
+        if best_entry is None:
+            return None
+        if best_entry.chosen < self._chosen_max:
+            best_entry.chosen += 1
+        return best_entry.target
+
+    def update(self, pc: int, target: int) -> None:
+        for history, keys in zip(self._histories, self._keys):
+            self._commit(keys.key(pc, history.pattern_for(pc)), target)
+            history.record(pc, target)
+
+    def run_trace(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        misses = 0
+        predict = self.predict
+        update = self.update
+        for pc, target in zip(pcs, targets):
+            if predict(pc) != target:
+                misses += 1
+            update(pc, target)
+        return misses
+
+    def reset(self) -> None:
+        self._build()
+
+    def stored_entries(self) -> int:
+        """Number of live entries (diagnostics)."""
+        return sum(len(ways) for ways in self._sets)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SharedTableHybridPredictor({self.config.label})"

@@ -1,0 +1,313 @@
+"""Second-level prediction tables.
+
+A prediction table maps a *key* (assembled by :mod:`repro.core.keys` from
+the branch address and the history pattern) to an :class:`Entry` holding a
+predicted target address.  The paper evaluates four organisations, all
+implemented here behind one interface:
+
+* :class:`UnconstrainedTable` — unlimited, fully associative, used for the
+  intrinsic-predictability studies of section 3;
+* :class:`FullyAssociativeTable` — limited size with LRU replacement
+  (section 5.1, capacity misses);
+* :class:`SetAssociativeTable` — 1/2/4-way with per-set LRU (section 5.2,
+  conflict misses);
+* :class:`TaglessTable` — direct-mapped without tags; a lookup always
+  returns whatever entry lives at the index, enabling both negative and
+  *positive* interference (section 5.2.2).
+
+All tables implement:
+
+``probe(key)``
+    Read-only lookup; returns the matching :class:`Entry` or ``None``.
+``commit(key, actual_target)``
+    Post-resolution update: applies the update rule (immediate or 2bc
+    hysteresis) to a hit, allocates/replaces on a miss, and maintains the
+    entry's confidence counter (incremented when the stored target matched,
+    decremented otherwise, reset to zero on replacement).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+from ..errors import ConfigError
+
+#: Update-rule names. ``"2bc"`` replaces a stored target only after two
+#: consecutive mispredictions; ``"always"`` replaces it immediately.
+UPDATE_RULES = ("always", "2bc")
+
+
+class Entry:
+    """One prediction-table entry.
+
+    Attributes:
+        target: the predicted target address.
+        miss_bit: hysteresis state for the 2bc update rule (1 after one
+            consecutive miss).
+        confidence: n-bit saturating confidence counter value, used by
+            hybrid metaprediction (section 6.1).
+    """
+
+    __slots__ = ("target", "miss_bit", "confidence")
+
+    def __init__(self, target: int) -> None:
+        self.target = target
+        self.miss_bit = 0
+        self.confidence = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Entry(target={self.target:#x}, miss_bit={self.miss_bit}, "
+            f"confidence={self.confidence})"
+        )
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class BasePredictionTable:
+    """Shared update semantics for all table organisations."""
+
+    def __init__(self, update_rule: str = "2bc", confidence_bits: int = 2) -> None:
+        if update_rule not in UPDATE_RULES:
+            raise ConfigError(
+                f"unknown update rule {update_rule!r}; expected one of {UPDATE_RULES}"
+            )
+        if confidence_bits < 1:
+            raise ConfigError(
+                f"confidence counter width must be >= 1 bit, got {confidence_bits}"
+            )
+        self.update_rule = update_rule
+        self.confidence_bits = confidence_bits
+        self.confidence_max = (1 << confidence_bits) - 1
+
+    # -- interface -------------------------------------------------------
+
+    def probe(self, key: int) -> Optional[Entry]:
+        raise NotImplementedError
+
+    def commit(self, key: int, actual_target: int) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _apply_update(self, entry: Entry, actual_target: int) -> None:
+        """Update a resident entry after the branch resolves."""
+        if entry.target == actual_target:
+            entry.miss_bit = 0
+            if entry.confidence < self.confidence_max:
+                entry.confidence += 1
+            return
+        if entry.confidence > 0:
+            entry.confidence -= 1
+        if self.update_rule == "always" or entry.miss_bit:
+            entry.target = actual_target
+            entry.miss_bit = 0
+        else:
+            entry.miss_bit = 1
+
+
+class UnconstrainedTable(BasePredictionTable):
+    """Unlimited fully-associative table (no capacity or conflict misses).
+
+    Used for the section 3 experiments that measure intrinsic
+    predictability; every distinct key gets its own entry forever.
+    """
+
+    def __init__(self, update_rule: str = "2bc", confidence_bits: int = 2) -> None:
+        super().__init__(update_rule, confidence_bits)
+        self._entries: Dict[int, Entry] = {}
+
+    @property
+    def capacity(self) -> Optional[int]:
+        return None
+
+    def probe(self, key: int) -> Optional[Entry]:
+        return self._entries.get(key)
+
+    def commit(self, key: int, actual_target: int) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = Entry(actual_target)
+        else:
+            self._apply_update(entry, actual_target)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class FullyAssociativeTable(BasePredictionTable):
+    """Limited-size fully-associative table with LRU replacement (§5.1)."""
+
+    def __init__(
+        self,
+        num_entries: int,
+        update_rule: str = "2bc",
+        confidence_bits: int = 2,
+    ) -> None:
+        super().__init__(update_rule, confidence_bits)
+        if not _is_power_of_two(num_entries):
+            raise ConfigError(f"table size must be a power of two, got {num_entries}")
+        self.num_entries = num_entries
+        self._entries: "OrderedDict[int, Entry]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self.num_entries
+
+    def probe(self, key: int) -> Optional[Entry]:
+        return self._entries.get(key)
+
+    def commit(self, key: int, actual_target: int) -> None:
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is not None:
+            entries.move_to_end(key)
+            self._apply_update(entry, actual_target)
+            return
+        if len(entries) >= self.num_entries:
+            entries.popitem(last=False)
+        entries[key] = Entry(actual_target)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class SetAssociativeTable(BasePredictionTable):
+    """k-way set-associative table with per-set LRU replacement (§5.2).
+
+    The low ``log2(num_sets)`` bits of the key select a set; the remaining
+    bits form the tag.  ``associativity=1`` gives a direct-mapped (tagged)
+    table.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        associativity: int,
+        update_rule: str = "2bc",
+        confidence_bits: int = 2,
+    ) -> None:
+        super().__init__(update_rule, confidence_bits)
+        if not _is_power_of_two(num_entries):
+            raise ConfigError(f"table size must be a power of two, got {num_entries}")
+        if not _is_power_of_two(associativity):
+            raise ConfigError(f"associativity must be a power of two, got {associativity}")
+        if associativity > num_entries:
+            raise ConfigError(
+                f"associativity {associativity} exceeds table size {num_entries}"
+            )
+        self.num_entries = num_entries
+        self.associativity = associativity
+        self.num_sets = num_entries // associativity
+        self.index_bits = self.num_sets.bit_length() - 1
+        self._index_mask = self.num_sets - 1
+        # Each set is an insertion-ordered dict tag -> Entry; the first key
+        # is the least recently used way.
+        self._sets: List[Dict[int, Entry]] = [dict() for _ in range(self.num_sets)]
+
+    @property
+    def capacity(self) -> int:
+        return self.num_entries
+
+    def probe(self, key: int) -> Optional[Entry]:
+        tag = key >> self.index_bits
+        return self._sets[key & self._index_mask].get(tag)
+
+    def commit(self, key: int, actual_target: int) -> None:
+        tag = key >> self.index_bits
+        ways = self._sets[key & self._index_mask]
+        entry = ways.get(tag)
+        if entry is not None:
+            # Refresh recency by reinserting at the back of the dict.
+            del ways[tag]
+            ways[tag] = entry
+            self._apply_update(entry, actual_target)
+            return
+        if len(ways) >= self.associativity:
+            del ways[next(iter(ways))]
+        ways[tag] = Entry(actual_target)
+
+    def __len__(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    def utilization(self) -> float:
+        """Fraction of entry slots in use (paper quotes this for §5.2.1)."""
+        return len(self) / self.num_entries
+
+
+class TaglessTable(BasePredictionTable):
+    """Direct-mapped table without tags (§5.2.2).
+
+    A probe returns whatever entry currently lives at the index, even if it
+    was written by a different key — this aliasing is what produces the
+    *positive interference* that lets tagless tables beat 4-way associative
+    ones at long path lengths.
+    """
+
+    def __init__(
+        self,
+        num_entries: int,
+        update_rule: str = "2bc",
+        confidence_bits: int = 2,
+    ) -> None:
+        super().__init__(update_rule, confidence_bits)
+        if not _is_power_of_two(num_entries):
+            raise ConfigError(f"table size must be a power of two, got {num_entries}")
+        self.num_entries = num_entries
+        self.index_bits = num_entries.bit_length() - 1
+        self._index_mask = num_entries - 1
+        self._entries: List[Optional[Entry]] = [None] * num_entries
+
+    @property
+    def capacity(self) -> int:
+        return self.num_entries
+
+    def probe(self, key: int) -> Optional[Entry]:
+        return self._entries[key & self._index_mask]
+
+    def commit(self, key: int, actual_target: int) -> None:
+        index = key & self._index_mask
+        entry = self._entries[index]
+        if entry is None:
+            self._entries[index] = Entry(actual_target)
+        else:
+            self._apply_update(entry, actual_target)
+
+    def __len__(self) -> int:
+        return sum(1 for entry in self._entries if entry is not None)
+
+    def utilization(self) -> float:
+        return len(self) / self.num_entries
+
+
+def make_table(
+    num_entries: Optional[int],
+    associativity: object,
+    update_rule: str = "2bc",
+    confidence_bits: int = 2,
+) -> BasePredictionTable:
+    """Build a table from the (size, associativity) naming used in the paper.
+
+    ``associativity`` accepts an int (1, 2, 4, ...), the string ``"full"``
+    for fully associative, or ``"tagless"``.  ``num_entries=None`` yields an
+    :class:`UnconstrainedTable` regardless of associativity.
+    """
+    if num_entries is None:
+        return UnconstrainedTable(update_rule, confidence_bits)
+    if associativity == "tagless":
+        return TaglessTable(num_entries, update_rule, confidence_bits)
+    if associativity == "full":
+        return FullyAssociativeTable(num_entries, update_rule, confidence_bits)
+    if isinstance(associativity, int):
+        if associativity == num_entries:
+            return FullyAssociativeTable(num_entries, update_rule, confidence_bits)
+        return SetAssociativeTable(num_entries, associativity, update_rule, confidence_bits)
+    raise ConfigError(
+        f"associativity must be an int, 'full', or 'tagless'; got {associativity!r}"
+    )

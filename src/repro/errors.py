@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause without
+swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid predictor, workload, or experiment configuration.
+
+    Raised eagerly at construction time: a predictor or workload object that
+    was successfully created is guaranteed to be internally consistent.
+    """
+
+
+class TraceError(ReproError, ValueError):
+    """A malformed trace (bad event, inconsistent arrays, bad file format)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """A failure during trace-driven simulation."""
+
+
+class ExperimentError(ReproError, RuntimeError):
+    """A failure while running or rendering a paper experiment."""

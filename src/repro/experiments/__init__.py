@@ -1,0 +1,24 @@
+"""Paper experiments: one module per reproduced table/figure.
+
+See :mod:`repro.experiments.registry` for the experiment index; DESIGN.md
+maps each experiment to the paper artefact it reproduces, and EXPERIMENTS.md
+records measured-vs-paper outcomes.
+"""
+
+from .base import ExperimentResult
+from .registry import (
+    EXPERIMENTS,
+    experiment_ids,
+    get_module,
+    run_all,
+    run_experiment,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "experiment_ids",
+    "get_module",
+    "run_all",
+    "run_experiment",
+]

@@ -1,0 +1,85 @@
+"""Section 8.1 extensions — beyond the paper's evaluated design space.
+
+The paper's future-work section proposes hybrids with three or more
+components.  This experiment implements it: a three-component hybrid
+(short / medium / long path) against the best two-component hybrid and the
+best non-hybrid at equal total size, using the same per-entry confidence
+metaprediction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import HybridConfig
+from ..sim.suite_runner import SuiteRunner
+from .base import ExperimentResult, comparison_table, default_runner
+from .fig16 import practical_config
+from .fig18_table6 import HYBRID_PAIRS, SINGLE_PATHS, _hybrid
+
+EXPERIMENT_ID = "extensions"
+TITLE = "Section 8.1 extension: three-component hybrids"
+
+QUICK_SIZES = (3072, 12288)   # divisible by 3 for equal components
+FULL_SIZES = (1536, 3072, 6144, 12288, 24576)
+TRIPLES = ((1, 3, 7), (1, 4, 8), (2, 5, 9))
+
+
+def _triple(paths, component_size: int) -> HybridConfig:
+    components = tuple(
+        practical_config(p, component_size, 4) for p in paths
+    )
+    return HybridConfig(components=components)
+
+
+def _pow2_below(value: int) -> int:
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power
+
+
+def run(runner: Optional[SuiteRunner] = None, quick: bool = True) -> ExperimentResult:
+    runner = default_runner(runner)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    rows = []
+    series: Dict[str, Dict[object, float]] = {
+        "single": {}, "dual": {}, "triple": {},
+    }
+    for total in sizes:
+        component = _pow2_below(total // 3)
+        dual_component = _pow2_below(total // 2)
+        single_size = _pow2_below(total)
+        _, single_rate = runner.best(
+            [practical_config(p, single_size, 4) for p in SINGLE_PATHS]
+        )
+        _, dual_rate = runner.best(
+            [_hybrid(pair, dual_component, 4) for pair in HYBRID_PAIRS]
+        )
+        triple_best, triple_rate = runner.best(
+            [_triple(paths, component) for paths in TRIPLES]
+        )
+        series["single"][total] = single_rate
+        series["dual"][total] = dual_rate
+        series["triple"][total] = triple_rate
+        paths = ".".join(str(c.path_length) for c in triple_best.components)  # type: ignore[union-attr]
+        rows.append([total, round(single_rate, 2), round(dual_rate, 2),
+                     round(triple_rate, 2), paths])
+    tables = [
+        comparison_table(
+            "Equal-budget comparison (sizes rounded down to powers of two)",
+            rows,
+            ["total budget", "single %", "dual %", "triple %", "triple paths"],
+        )
+    ]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="total budget",
+        series=series,
+        tables=tables,
+        notes=(
+            "Extension beyond the paper: whether a third (medium-path) "
+            "component pays for itself at equal hardware budget."
+        ),
+    )

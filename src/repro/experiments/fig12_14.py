@@ -1,0 +1,71 @@
+"""Figures 12 & 14 — associativity and the interleaving fix.
+
+With limited associativity, the key's low bits become a set index.  If the
+pattern elements are *concatenated*, the index contains only the most
+recent target(s), so paths differing only in older targets collide — the
+saw-toothed misprediction curves of Figure 12.  *Interleaving* the target
+bits (Figure 14) puts low-order bits of every target in the index and
+removes the anomaly; tagless tables additionally show *positive
+interference* at long paths, where aliased entries still predict usefully.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import TwoLevelConfig
+from ..sim.suite_runner import SuiteRunner
+from ..sim.sweep import sweep
+from .base import ExperimentResult, default_runner
+
+EXPERIMENT_ID = "fig12_14"
+TITLE = "Figures 12/14: associativity, concatenated vs interleaved keys (4096 entries)"
+
+TABLE_SIZE = 4096
+ASSOCIATIVITIES = ("tagless", 1, 2, 4)
+QUICK_PATHS = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12)
+FULL_PATHS = tuple(range(0, 13))
+
+
+def _config(path: int, associativity: object, interleave: str) -> TwoLevelConfig:
+    return TwoLevelConfig(
+        path_length=path,
+        precision="auto",
+        address_mode="xor",
+        interleave=interleave,
+        num_entries=TABLE_SIZE,
+        associativity=associativity,  # type: ignore[arg-type]
+    )
+
+
+def run(runner: Optional[SuiteRunner] = None, quick: bool = True) -> ExperimentResult:
+    runner = default_runner(runner)
+    paths = QUICK_PATHS if quick else FULL_PATHS
+    series: Dict[str, Dict[object, float]] = {}
+    for interleave, tag in (("none", "concat"), ("reverse", "interleave")):
+        for associativity in ASSOCIATIVITIES:
+            swept = sweep(
+                {p: _config(p, associativity, interleave) for p in paths},
+                runner=runner,
+                benchmarks=runner.benchmarks,
+            )
+            series[f"{tag}/{associativity}"] = swept.series("AVG")
+    # Quantify the anomaly the paper highlights: with concatenation and
+    # 1-way associativity, p=2 is *worse* than p=1 (Figure 13's example).
+    concat_one_way = series["concat/1"]
+    interleave_one_way = series["interleave/1"]
+    anomaly = concat_one_way.get(2, 0.0) - concat_one_way.get(1, 0.0)
+    fixed = interleave_one_way.get(2, 0.0) - interleave_one_way.get(1, 0.0)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="p (path length)",
+        series=series,
+        notes=(
+            "Claims under test: interleaving strictly improves on "
+            "concatenation for limited-associativity tables; higher "
+            "associativity helps; tagless can beat 4-way at long paths "
+            f"(positive interference). Concat 1-way p2-p1 delta {anomaly:+.2f} "
+            f"vs interleaved {fixed:+.2f}."
+        ),
+    )

@@ -1,0 +1,112 @@
+"""Figure 18 & Table 6 — best hybrid vs best non-hybrid per table size.
+
+Compares, at equal *total* size (a hybrid's two size-N components count as
+2N), the best-path-length non-hybrid against the best dual-path hybrid for
+tagless, 2-way and 4-way tables.  Paper claims: hybrids win at every size
+above 64 entries; the winning component path lengths grow with size (a
+short path 1..3 paired with a long one); at 1K/8K total entries the 4-way
+hybrid reaches 8.98%/5.95% vs 9.8%/7.3% non-hybrid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..core.config import HybridConfig
+from ..sim.suite_runner import SuiteRunner
+from .base import ExperimentResult, comparison_table, default_runner
+from .fig16 import practical_config
+from .paper_data import TABLE6
+
+EXPERIMENT_ID = "fig18_table6"
+TITLE = "Figure 18 / Table 6: best hybrid vs non-hybrid per total size"
+
+QUICK_SIZES = (256, 1024, 4096, 8192)
+FULL_SIZES = (128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768)
+QUICK_ASSOCS: Tuple[object, ...] = ("tagless", 4)
+FULL_ASSOCS: Tuple[object, ...] = ("tagless", 2, 4)
+#: Candidate path lengths for the non-hybrid best search.
+SINGLE_PATHS = (1, 2, 3, 4, 5, 6)
+#: Candidate (short, long) pairs for the hybrid best search, following the
+#: paper's observation that short+long combinations win.
+HYBRID_PAIRS = ((1, 3), (1, 5), (2, 5), (1, 7), (2, 7), (3, 7))
+
+
+def _hybrid(pair: Tuple[int, int], component_size: int, associativity: object) -> HybridConfig:
+    short, long_ = pair
+    first = practical_config(short, component_size, associativity)
+    second = practical_config(long_, component_size, associativity)
+    return HybridConfig(components=(first, second))
+
+
+def run(runner: Optional[SuiteRunner] = None, quick: bool = True) -> ExperimentResult:
+    runner = default_runner(runner)
+    sizes = QUICK_SIZES if quick else FULL_SIZES
+    associativities = QUICK_ASSOCS if quick else FULL_ASSOCS
+    series: Dict[str, Dict[object, float]] = {}
+    rows = []
+    for associativity in associativities:
+        non_hybrid: Dict[object, float] = {}
+        hybrid: Dict[object, float] = {}
+        for total_size in sizes:
+            single_best, single_rate = runner.best(
+                [practical_config(p, total_size, associativity) for p in SINGLE_PATHS]
+            )
+            non_hybrid[total_size] = single_rate
+            component_size = total_size // 2
+            pair_best, pair_rate = runner.best(
+                [_hybrid(pair, component_size, associativity) for pair in HYBRID_PAIRS]
+            )
+            hybrid[total_size] = pair_rate
+            paper_cell = TABLE6.get(total_size, {}).get(associativity)
+            paths = ".".join(
+                str(c.path_length) for c in pair_best.components  # type: ignore[union-attr]
+            )
+            rows.append([
+                associativity,
+                total_size,
+                round(single_rate, 2),
+                single_best.path_length,  # type: ignore[union-attr]
+                round(pair_rate, 2),
+                paths,
+                paper_cell[0] if paper_cell else None,
+                paper_cell[1] if paper_cell else None,
+            ])
+        series[f"non-hybrid/{associativity}"] = non_hybrid
+        series[f"hybrid/{associativity}"] = hybrid
+    paper_series = {
+        f"hybrid/{assoc}": {
+            size: TABLE6[size][assoc][0]
+            for size in sizes
+            if size in TABLE6 and assoc in TABLE6[size]
+        }
+        for assoc in associativities
+    }
+    tables = [
+        comparison_table(
+            "Best predictors per total size (measured vs paper Table 6)",
+            rows,
+            ["assoc", "size", "single %", "p", "hybrid %", "p1.p2",
+             "paper hybrid %", "paper p1.p2"],
+        )
+    ]
+    wins = sum(
+        1
+        for associativity in associativities
+        for size in sizes
+        if series[f"hybrid/{associativity}"][size]
+        < series[f"non-hybrid/{associativity}"][size]
+    )
+    total = len(associativities) * len(sizes)
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="total table entries",
+        series=series,
+        paper_series=paper_series,
+        tables=tables,
+        notes=(
+            "Claim under test: hybrids beat equal-total-size non-hybrids "
+            f"for tables above 64 entries (measured: {wins}/{total} points)."
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Figure 9 — misprediction rate as a function of path length.
+
+The central unconstrained-predictor result: with a global history, full
+precision addresses and unlimited per-branch tables, the AVG misprediction
+rate drops steeply from the BTB's 24.9% (p=0), reaches its minimum around
+p=6 (5.8% in the paper), and then *rises* again as longer paths take too
+long to warm up across program phase changes.
+
+The same experiment doubles as the 2bc-vs-always ablation for two-level
+predictors (section 3.2: "we always saw a slight improvement with 2-bit
+counters").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import TwoLevelConfig
+from ..sim.suite_runner import SuiteRunner
+from ..sim.sweep import sweep
+from .base import ExperimentResult, argmin_curve, default_runner
+from .paper_data import FIG9_AVG
+
+EXPERIMENT_ID = "fig9"
+TITLE = "Figure 9: path-length sweep (global history, per-branch tables)"
+
+QUICK_POINTS = tuple(range(0, 13)) + (14, 16, 18)
+FULL_POINTS = tuple(range(0, 19))
+
+
+def run(runner: Optional[SuiteRunner] = None, quick: bool = True) -> ExperimentResult:
+    runner = default_runner(runner)
+    points = QUICK_POINTS if quick else FULL_POINTS
+    configs = {p: TwoLevelConfig.unconstrained(p) for p in points}
+    swept = sweep(configs, runner=runner, benchmarks=runner.benchmarks)
+    series: Dict[str, Dict[object, float]] = {
+        group: swept.series(group)
+        for group in ("AVG", "AVG-OO", "AVG-C", "AVG-100", "AVG-200", "AVG-infreq")
+    }
+    # 2bc-vs-always ablation at a few representative path lengths.
+    ablation_points = (1, 3, 6) if quick else tuple(range(1, 13))
+    always_configs = {
+        p: TwoLevelConfig.unconstrained(p, update_rule="always")
+        for p in ablation_points
+    }
+    always = sweep(always_configs, runner=runner, benchmarks=runner.benchmarks)
+    series["AVG (update=always)"] = always.series("AVG")
+
+    best_p = argmin_curve(series["AVG"])
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="p (path length)",
+        series=series,
+        paper_series={"AVG": dict(FIG9_AVG)},
+        notes=(
+            f"Claims under test: steep improvement up to p~3, a shallow "
+            f"minimum (paper at p=6, measured at p={best_p}), a rising tail "
+            f"for long paths, and 2bc-updated tables slightly beating "
+            f"always-updated ones."
+        ),
+    )

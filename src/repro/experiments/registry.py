@@ -1,0 +1,95 @@
+"""Registry of all reproduced tables and figures.
+
+Maps experiment ids to their modules so harnesses can enumerate and run the
+whole evaluation::
+
+    from repro.experiments import registry
+    for experiment_id in registry.experiment_ids():
+        result = registry.run_experiment(experiment_id, quick=True)
+        print(result.render())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..errors import ExperimentError
+from . import (
+    appendix,
+    context_switch,
+    extensions,
+    fig2,
+    fig5,
+    fig7,
+    fig9,
+    fig10,
+    fig11,
+    fig12_14,
+    fig15,
+    fig16,
+    fig17,
+    fig18_table6,
+    scaling,
+    table5,
+    tables12,
+)
+from .base import ExperimentResult
+
+_MODULES = (
+    tables12,
+    fig2,
+    fig5,
+    fig7,
+    fig9,
+    fig10,
+    table5,
+    fig11,
+    fig12_14,
+    fig15,
+    fig16,
+    fig17,
+    fig18_table6,
+    appendix,
+    extensions,
+    scaling,
+    context_switch,
+)
+
+EXPERIMENTS: Dict[str, object] = {
+    module.EXPERIMENT_ID: module for module in _MODULES  # type: ignore[attr-defined]
+}
+
+
+def experiment_ids() -> List[str]:
+    """All experiment ids, in the paper's presentation order."""
+    return list(EXPERIMENTS)
+
+
+def get_module(experiment_id: str):
+    try:
+        return EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {', '.join(EXPERIMENTS)}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str,
+    runner: Optional[object] = None,
+    quick: bool = True,
+) -> ExperimentResult:
+    """Run one experiment by id."""
+    module = get_module(experiment_id)
+    return module.run(runner=runner, quick=quick)  # type: ignore[attr-defined]
+
+
+def run_all(runner: Optional[object] = None, quick: bool = True) -> Dict[str, ExperimentResult]:
+    """Run the whole evaluation; results share one trace/simulation cache."""
+    from ..sim.suite_runner import shared_runner
+
+    runner = runner or shared_runner()
+    return {
+        experiment_id: run_experiment(experiment_id, runner=runner, quick=quick)
+        for experiment_id in experiment_ids()
+    }

@@ -1,0 +1,76 @@
+"""Trace-scale ablation: validating the Figure 9 deviation.
+
+EXPERIMENTS.md attributes the difference between our path-length optimum
+(p≈2-3) and the paper's (p=6) to trace length: the warm-up cost of long
+paths is amortised over multi-million-event traces in the paper but not
+over our scaled ones.  This ablation tests that explanation directly by
+sweeping the path length at several trace scales: if the explanation is
+right, the optimum must move right and the tail must flatten as traces
+grow.
+
+This experiment is an addition to the paper (its traces had one length);
+it exists to make the reproduction's main deviation falsifiable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..core.config import TwoLevelConfig
+from ..sim.suite_runner import SuiteRunner
+from ..sim.sweep import sweep
+from .base import ExperimentResult, argmin_curve, default_runner
+
+EXPERIMENT_ID = "scaling"
+TITLE = "Trace-scale ablation: path-length optimum vs trace length"
+
+QUICK_SCALES = (0.25, 1.0, 4.0)
+FULL_SCALES = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+#: A fast, representative slice of the AVG set (scaling sweeps are costly).
+BENCHMARKS = ("perl", "ixx", "lcom", "gcc", "troff")
+PATHS = (0, 1, 2, 3, 4, 5, 6, 8, 10, 12)
+
+
+def run(runner: Optional[SuiteRunner] = None, quick: bool = True) -> ExperimentResult:
+    # The shared runner has a fixed scale, so this experiment builds its
+    # own runners; the passed-in runner only pins the benchmark subset.
+    base = default_runner(runner)
+    benchmarks = tuple(name for name in BENCHMARKS if name in base.benchmarks)
+    if not benchmarks:
+        benchmarks = BENCHMARKS
+    scales = QUICK_SCALES if quick else FULL_SCALES
+    series: Dict[str, Dict[object, float]] = {}
+    minima: Dict[float, object] = {}
+    tails: Dict[float, float] = {}
+    for scale in scales:
+        scaled_runner = SuiteRunner(benchmarks=benchmarks, scale=scale)
+        swept = sweep(
+            {p: TwoLevelConfig.unconstrained(p) for p in PATHS},
+            runner=scaled_runner,
+            benchmarks=benchmarks,
+        )
+        curve = swept.series("AVG")
+        series[f"scale={scale}"] = curve
+        minima[scale] = argmin_curve(curve)
+        best = min(curve.values())
+        tails[scale] = curve[max(PATHS)] - best
+    ordered = sorted(scales)
+    monotone_min = all(
+        int(minima[a]) <= int(minima[b]) + 1  # allow one step of noise
+        for a, b in zip(ordered, ordered[1:])
+    )
+    flattening = tails[ordered[0]] >= tails[ordered[-1]]
+    return ExperimentResult(
+        experiment_id=EXPERIMENT_ID,
+        title=TITLE,
+        x_label="p (path length)",
+        series=series,
+        notes=(
+            "Hypothesis under test: longer traces move the best path length "
+            "right and flatten the long-path tail (the Figure 9 deviation is "
+            f"a trace-length artefact). Measured minima: "
+            f"{ {s: minima[s] for s in ordered} }; tail heights (p=12 minus "
+            f"best): { {s: round(tails[s], 2) for s in ordered} }. "
+            f"Minimum non-decreasing: {monotone_min}; tail flattens: {flattening}."
+        ),
+    )

@@ -1,0 +1,30 @@
+"""Trace-driven simulation engine and sweep harness."""
+
+from .engine import SimulationResult, simulate
+from .groups import group_average, with_group_averages
+from .reporting import (
+    format_comparison,
+    format_series,
+    format_table,
+    percent,
+    summarize_shape,
+)
+from .suite_runner import SuiteRunner, shared_runner
+from .sweep import SweepResult, grid, sweep
+
+__all__ = [
+    "SimulationResult",
+    "SuiteRunner",
+    "SweepResult",
+    "format_comparison",
+    "format_series",
+    "format_table",
+    "grid",
+    "group_average",
+    "percent",
+    "shared_runner",
+    "simulate",
+    "summarize_shape",
+    "sweep",
+    "with_group_averages",
+]

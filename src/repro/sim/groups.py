@@ -1,0 +1,47 @@
+"""Benchmark-group averaging (the paper's Table 3 groups).
+
+The paper reports arithmetic means of per-benchmark misprediction rates
+over six groups (AVG, AVG-OO, AVG-C, AVG-100, AVG-200, AVG-infreq).  The
+headline AVG deliberately excludes the four programs that execute indirect
+branches less than once per thousand instructions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping
+
+from ..errors import SimulationError
+from ..workloads.suite import GROUPS
+
+
+def group_average(rates: Mapping[str, float], members: Iterable[str]) -> float:
+    """Arithmetic mean of per-benchmark rates over the given members."""
+    members = list(members)
+    missing = [name for name in members if name not in rates]
+    if missing:
+        raise SimulationError(
+            f"missing benchmark rates for group average: {', '.join(missing)}"
+        )
+    if not members:
+        raise SimulationError("cannot average over an empty group")
+    return sum(rates[name] for name in members) / len(members)
+
+
+def with_group_averages(
+    rates: Mapping[str, float],
+    groups: Mapping[str, Iterable[str]] = None,
+) -> Dict[str, float]:
+    """Per-benchmark rates plus every group average that can be computed.
+
+    Groups whose members are not all present are silently skipped, so
+    partial-suite runs (e.g. an example running three benchmarks) still
+    work.
+    """
+    if groups is None:
+        groups = GROUPS
+    augmented: Dict[str, float] = dict(rates)
+    for group_name, members in groups.items():
+        members = list(members)
+        if all(name in rates for name in members):
+            augmented[group_name] = group_average(rates, members)
+    return augmented

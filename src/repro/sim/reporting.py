@@ -1,0 +1,121 @@
+"""Plain-text rendering of result tables and figure series.
+
+The experiment modules produce structured results; these helpers turn them
+into the ASCII tables that the benchmark harness prints and that
+EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows: List[List[str]] = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        header.ljust(widths[column]) for column, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths[: len(headers)]))
+    for row in rendered_rows:
+        lines.append(
+            "  ".join(cell.rjust(widths[column]) for column, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    series: Mapping[str, Mapping[object, float]],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure-style data: one x column, one column per series.
+
+    ``series`` maps series name -> {x value -> y value}.  The x axis is the
+    union of all x values, sorted.
+    """
+    x_values = sorted({x for points in series.values() for x in points})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in x_values:
+        row: List[object] = [x]
+        for name in series:
+            row.append(series[name].get(x))
+        rows.append(row)
+    return format_table(headers, rows, title=title)
+
+
+def format_comparison(
+    label: str,
+    paper: Mapping[object, float],
+    measured: Mapping[object, float],
+) -> str:
+    """Side-by-side paper-vs-measured table for one metric."""
+    return format_series(
+        label,
+        {"paper": dict(paper), "measured": dict(measured)},
+    )
+
+
+def percent(value: float) -> str:
+    return f"{value:.2f}%"
+
+
+def summarize_shape(
+    paper: Mapping[object, float], measured: Mapping[object, float]
+) -> Dict[str, object]:
+    """Shape agreement between a paper curve and a measured curve.
+
+    Reports the argmin of each curve and the Spearman-style rank agreement
+    of the shared points — the reproduction criterion is curve *shape*, not
+    absolute values.
+    """
+    shared = sorted(set(paper) & set(measured))
+    if len(shared) < 2:
+        return {"shared_points": len(shared)}
+    paper_values = [paper[x] for x in shared]
+    measured_values = [measured[x] for x in shared]
+
+    def ranks(values: List[float]) -> List[float]:
+        order = sorted(range(len(values)), key=values.__getitem__)
+        result = [0.0] * len(values)
+        for rank, index in enumerate(order):
+            result[index] = float(rank)
+        return result
+
+    paper_ranks = ranks(paper_values)
+    measured_ranks = ranks(measured_values)
+    n = len(shared)
+    d_squared = sum(
+        (paper_ranks[i] - measured_ranks[i]) ** 2 for i in range(n)
+    )
+    spearman = 1.0 - 6.0 * d_squared / (n * (n * n - 1))
+    return {
+        "shared_points": n,
+        "paper_argmin": shared[paper_values.index(min(paper_values))],
+        "measured_argmin": shared[measured_values.index(min(measured_values))],
+        "rank_correlation": round(spearman, 3),
+    }

@@ -1,0 +1,132 @@
+"""Running predictor configurations over the whole benchmark suite.
+
+The :class:`SuiteRunner` caches generated traces (generation costs seconds
+per benchmark) and memoises simulation results per (config, benchmark), so
+parameter sweeps that revisit configurations — as the best-predictor
+searches of Figures 16/18 do — pay for each simulation once per process.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.config import PredictorConfig
+from ..core.factory import build_predictor
+from ..workloads.program import generate_trace
+from ..workloads.suite import AVG_BENCHMARKS, benchmark_names, workload_config
+from ..workloads.trace import Trace
+from .engine import SimulationResult, simulate
+from .groups import with_group_averages
+
+
+class SuiteRunner:
+    """Simulates predictor configs over (a subset of) the benchmark suite."""
+
+    def __init__(
+        self,
+        benchmarks: Optional[Iterable[str]] = None,
+        scale: Optional[float] = None,
+    ) -> None:
+        self.benchmarks: Tuple[str, ...] = tuple(
+            benchmarks if benchmarks is not None else benchmark_names()
+        )
+        self.scale = scale
+        self._traces: Dict[str, Trace] = {}
+        self._results: Dict[Tuple[PredictorConfig, str], SimulationResult] = {}
+
+    # -- traces -------------------------------------------------------------
+
+    def trace(self, name: str) -> Trace:
+        """The (cached) trace for one benchmark."""
+        cached = self._traces.get(name)
+        if cached is None:
+            cached = generate_trace(workload_config(name, self.scale))
+            self._traces[name] = cached
+        return cached
+
+    def traces(self) -> Dict[str, Trace]:
+        return {name: self.trace(name) for name in self.benchmarks}
+
+    # -- simulation --------------------------------------------------------
+
+    def result(self, config: PredictorConfig, benchmark: str) -> SimulationResult:
+        """Simulate one config on one benchmark (memoised)."""
+        key = (config, benchmark)
+        cached = self._results.get(key)
+        if cached is None:
+            predictor = build_predictor(config)
+            cached = simulate(predictor, self.trace(benchmark))
+            self._results[key] = cached
+        return cached
+
+    def rates(
+        self,
+        config: PredictorConfig,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Per-benchmark misprediction percentages for one config."""
+        names = tuple(benchmarks) if benchmarks is not None else self.benchmarks
+        return {name: self.result(config, name).misprediction_rate for name in names}
+
+    def rates_with_groups(
+        self,
+        config: PredictorConfig,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> Dict[str, float]:
+        """Per-benchmark rates plus all computable group averages."""
+        return with_group_averages(self.rates(config, benchmarks))
+
+    def average(
+        self,
+        config: PredictorConfig,
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> float:
+        """Arithmetic-mean misprediction rate; defaults to the paper's AVG.
+
+        On a runner covering only part of the suite, the default average is
+        taken over the covered AVG members (or, failing that, over whatever
+        benchmarks the runner has).
+        """
+        if benchmarks is not None:
+            names = tuple(benchmarks)
+        else:
+            names = tuple(n for n in AVG_BENCHMARKS if n in self.benchmarks)
+            if not names:
+                names = self.benchmarks
+        rates = self.rates(config, names)
+        return sum(rates.values()) / len(rates)
+
+    def best(
+        self,
+        configs: Iterable[PredictorConfig],
+        benchmarks: Optional[Iterable[str]] = None,
+    ) -> Tuple[PredictorConfig, float]:
+        """The config minimising the AVG misprediction rate.
+
+        This mirrors the paper's methodology: "the pathlength is chosen to
+        minimize the AVG misprediction rate" (appendix note).
+        """
+        names = tuple(benchmarks) if benchmarks is not None else None
+        scored: List[Tuple[float, int, PredictorConfig]] = []
+        for order, config in enumerate(configs):
+            scored.append((self.average(config, names), order, config))
+        if not scored:
+            raise ValueError("best() needs at least one configuration")
+        best_rate, _, best_config = min(scored)
+        return best_config, best_rate
+
+    def cached_simulations(self) -> int:
+        """Number of memoised (config, benchmark) results (diagnostics)."""
+        return len(self._results)
+
+
+#: Process-wide shared runner so tests, examples, and benches reuse traces.
+_shared_runner: Optional[SuiteRunner] = None
+
+
+def shared_runner() -> SuiteRunner:
+    """The process-wide :class:`SuiteRunner` (created on first use)."""
+    global _shared_runner
+    if _shared_runner is None:
+        _shared_runner = SuiteRunner()
+    return _shared_runner

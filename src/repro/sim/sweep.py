@@ -1,0 +1,99 @@
+"""Parameter-sweep harness.
+
+The paper's evaluation is a sequence of one-dimensional (and one
+two-dimensional, Figure 17) sweeps over predictor parameters, each
+reporting group-average misprediction rates.  :func:`sweep` runs any
+labelled family of configurations over the suite and collects the rates in
+figure-ready form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.config import PredictorConfig
+from ..workloads.suite import AVG_BENCHMARKS
+from .groups import with_group_averages
+from .suite_runner import SuiteRunner, shared_runner
+
+
+@dataclass
+class SweepResult:
+    """Rates for a family of configurations, indexed by sweep point."""
+
+    #: sweep point -> benchmark/group name -> misprediction percentage
+    points: Dict[object, Dict[str, float]] = field(default_factory=dict)
+
+    def series(self, name: str) -> Dict[object, float]:
+        """One benchmark's or group's curve across the sweep."""
+        return {
+            point: rates[name]
+            for point, rates in self.points.items()
+            if name in rates
+        }
+
+    def best_point(self, name: str = "AVG") -> Tuple[object, float]:
+        """The sweep point minimising the given curve."""
+        curve = self.series(name)
+        if not curve:
+            raise KeyError(f"no series named {name!r} in sweep result")
+        point = min(curve, key=lambda key: (curve[key], str(key)))
+        return point, curve[point]
+
+    def names(self) -> List[str]:
+        seen: List[str] = []
+        for rates in self.points.values():
+            for name in rates:
+                if name not in seen:
+                    seen.append(name)
+        return seen
+
+
+def sweep(
+    configs: Mapping[object, PredictorConfig],
+    runner: Optional[SuiteRunner] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    groups: bool = True,
+    progress: Optional[Callable[[object], None]] = None,
+) -> SweepResult:
+    """Simulate each labelled config over the suite.
+
+    Args:
+        configs: sweep point label -> predictor configuration.
+        runner: suite runner to reuse (defaults to the shared one).
+        benchmarks: restrict to a subset of benchmarks.
+        groups: include group averages computable from the chosen set.
+        progress: optional callback invoked with each sweep point label
+            as it completes (used by long-running benches).
+    """
+    runner = runner or shared_runner()
+    result = SweepResult()
+    for point, config in configs.items():
+        rates = runner.rates(config, benchmarks)
+        augmented = with_group_averages(rates) if groups else dict(rates)
+        if groups and "AVG" not in augmented:
+            # Partial-suite run: fall back to the mean over the covered AVG
+            # members (or over everything simulated) so sweep consumers can
+            # always read an "AVG" curve.
+            members = [name for name in AVG_BENCHMARKS if name in rates]
+            if not members:
+                members = list(rates)
+            augmented["AVG"] = sum(rates[name] for name in members) / len(members)
+        result.points[point] = augmented
+        if progress is not None:
+            progress(point)
+    return result
+
+
+def grid(
+    first: Iterable[object],
+    second: Iterable[object],
+    make_config: Callable[[object, object], PredictorConfig],
+) -> Dict[Tuple[object, object], PredictorConfig]:
+    """Cartesian-product configuration grid (Figure 17 style)."""
+    return {
+        (a, b): make_config(a, b)
+        for a in first
+        for b in second
+    }

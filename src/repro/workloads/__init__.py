@@ -1,0 +1,109 @@
+"""Synthetic workload substrate: the stand-in for the paper's shade traces.
+
+Public surface::
+
+    from repro.workloads import (
+        Trace, TraceMetadata,
+        WorkloadConfig, SyntheticProgram, generate_trace,
+        BENCHMARKS, GROUPS, benchmark_names, workload_config,
+        characterize, active_site_quantiles,
+    )
+"""
+
+from .classes import AddressSpace, TypeUniverse
+from .io import load_trace, load_trace_text, save_trace, save_trace_text
+from .phases import Phase, PhaseSchedule
+from .program import (
+    DEFAULT_QUANTILES,
+    FlowStep,
+    SyntheticProgram,
+    WorkloadConfig,
+    generate_trace,
+    quantile_weights,
+)
+from .rng import CategoricalSampler, derive_rng, geometric_length, zipf_weights
+from .sites import (
+    BranchSite,
+    FunctionPointerSite,
+    MonomorphicSite,
+    SwitchSite,
+    VirtualCallSite,
+)
+from .stats import (
+    TraceCharacteristics,
+    active_site_quantiles,
+    characterize,
+    distinct_patterns,
+    per_site_target_counts,
+    polymorphic_fraction,
+)
+from .suite import (
+    AVG100_BENCHMARKS,
+    AVG200_BENCHMARKS,
+    AVG_BENCHMARKS,
+    BENCHMARKS,
+    C_BENCHMARKS,
+    GROUPS,
+    INFREQ_BENCHMARKS,
+    OO_BENCHMARKS,
+    SCALE_ENV_VAR,
+    BenchmarkSpec,
+    benchmark_names,
+    get_benchmark,
+    group_members,
+    override_benchmark,
+    trace_scale,
+    workload_config,
+)
+from .trace import Trace, TraceMetadata, concatenate
+
+__all__ = [
+    "AVG100_BENCHMARKS",
+    "AVG200_BENCHMARKS",
+    "AVG_BENCHMARKS",
+    "AddressSpace",
+    "BENCHMARKS",
+    "BenchmarkSpec",
+    "BranchSite",
+    "C_BENCHMARKS",
+    "CategoricalSampler",
+    "DEFAULT_QUANTILES",
+    "FlowStep",
+    "FunctionPointerSite",
+    "GROUPS",
+    "INFREQ_BENCHMARKS",
+    "MonomorphicSite",
+    "OO_BENCHMARKS",
+    "Phase",
+    "PhaseSchedule",
+    "SCALE_ENV_VAR",
+    "SwitchSite",
+    "SyntheticProgram",
+    "Trace",
+    "TraceCharacteristics",
+    "TraceMetadata",
+    "TypeUniverse",
+    "VirtualCallSite",
+    "WorkloadConfig",
+    "active_site_quantiles",
+    "benchmark_names",
+    "characterize",
+    "concatenate",
+    "derive_rng",
+    "distinct_patterns",
+    "generate_trace",
+    "geometric_length",
+    "get_benchmark",
+    "group_members",
+    "load_trace",
+    "load_trace_text",
+    "override_benchmark",
+    "per_site_target_counts",
+    "polymorphic_fraction",
+    "quantile_weights",
+    "save_trace",
+    "save_trace_text",
+    "trace_scale",
+    "workload_config",
+    "zipf_weights",
+]

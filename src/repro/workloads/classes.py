@@ -1,0 +1,119 @@
+"""Type-hierarchy model: classes, virtual method slots, and their addresses.
+
+Virtual function calls are the dominant kind of indirect branch in the
+paper's OO benchmarks (up to 94% of dynamic indirect branches, Table 1).
+Their target is determined by the *receiver class*: a call site compiled
+for virtual slot ``j`` jumps to ``vtable[class][j]``.
+
+The :class:`TypeUniverse` models exactly that mapping.  Each virtual slot
+has a root implementation; each class *overrides* a slot with probability
+``override_prob`` (otherwise inheriting the root implementation), so slots
+range from monomorphic (never overridden) to megamorphic — matching the
+paper's observation that polymorphic branches "are often dominated by one
+most frequent target".
+
+Method implementations (and any other code the workload layer needs, such
+as switch case blocks) get word-aligned addresses from a shared
+:class:`AddressSpace` representing the program's text segment, whose size
+is a per-benchmark parameter — this is what gives the paper's history/table
+*sharing* sweeps (parameters ``s`` and ``h``) a realistic address geometry
+to bite on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..errors import ConfigError
+
+#: Bottom of the modelled text segment (matches typical executable layouts).
+TEXT_BASE = 0x0001_0000
+
+
+class AddressSpace:
+    """Allocates word-aligned code addresses within a text segment."""
+
+    def __init__(self, rng: random.Random, base: int = TEXT_BASE, size: int = 1 << 19) -> None:
+        if size <= 0:
+            raise ConfigError(f"text segment size must be positive, got {size}")
+        if base % 4 != 0:
+            raise ConfigError(f"text base must be word aligned, got {base:#x}")
+        self.base = base
+        self.size = size
+        self.limit = base + size
+        self._rng = rng
+        self._next = base
+
+    def allocate(self, approximate_bytes: int = 64) -> int:
+        """Allocate the next code address, advancing by roughly the given size.
+
+        Advancing wraps around within the segment when the text fills up —
+        addresses may then collide, just as two functions cannot, but a
+        simulator-scale model tolerates it (and the segment sizes in
+        :mod:`repro.workloads.suite` are chosen large enough that wrapping
+        is rare).
+        """
+        address = self._next
+        jitter = self._rng.randrange(0, max(4, approximate_bytes // 2), 4)
+        self._next += max(4, (approximate_bytes + jitter) & ~3)
+        if self._next >= self.limit:
+            self._next = self.base + ((self._next - self.base) % self.size & ~3)
+        return address
+
+    def random_address(self) -> int:
+        """A uniformly random word-aligned address inside the segment."""
+        return self.base + self._rng.randrange(0, self.size, 4)
+
+
+class TypeUniverse:
+    """Classes x virtual slots -> implementation addresses."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        address_space: AddressSpace,
+        num_classes: int,
+        num_slots: int,
+        override_prob: float = 0.6,
+    ) -> None:
+        if num_classes < 1:
+            raise ConfigError(f"need at least one class, got {num_classes}")
+        if num_slots < 1:
+            raise ConfigError(f"need at least one virtual slot, got {num_slots}")
+        if not 0.0 <= override_prob <= 1.0:
+            raise ConfigError(f"override probability must be in [0,1], got {override_prob}")
+        self.num_classes = num_classes
+        self.num_slots = num_slots
+        self.override_prob = override_prob
+        # vtables[class][slot] -> implementation address
+        self._vtables: List[List[int]] = []
+        root_methods = [address_space.allocate(96) for _ in range(num_slots)]
+        for _ in range(num_classes):
+            vtable = []
+            for slot in range(num_slots):
+                if rng.random() < override_prob:
+                    vtable.append(address_space.allocate(96))
+                else:
+                    vtable.append(root_methods[slot])
+            self._vtables.append(vtable)
+
+    def method_address(self, class_id: int, slot: int) -> int:
+        """The implementation a virtual call on ``slot`` dispatches to."""
+        return self._vtables[class_id][slot]
+
+    def slot_implementations(self, slot: int) -> Dict[int, int]:
+        """Map class -> implementation for one slot (diagnostics)."""
+        return {cls: vtable[slot] for cls, vtable in enumerate(self._vtables)}
+
+    def slot_polymorphism(self, slot: int) -> int:
+        """Number of distinct implementations reachable through a slot."""
+        return len({vtable[slot] for vtable in self._vtables})
+
+    def arity_histogram(self) -> Dict[int, int]:
+        """Distribution of slot polymorphism degrees (diagnostics)."""
+        histogram: Dict[int, int] = {}
+        for slot in range(self.num_slots):
+            degree = self.slot_polymorphism(slot)
+            histogram[degree] = histogram.get(degree, 0) + 1
+        return histogram

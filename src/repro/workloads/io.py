@@ -1,0 +1,120 @@
+"""Trace serialisation.
+
+Two formats are provided:
+
+* a compact binary format (magic + JSON metadata header + raw little-endian
+  ``uint32`` columns) used for caching generated traces on disk;
+* a human-readable text format (one ``pc target`` hex pair per line) for
+  debugging and for importing traces produced by external tools.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from array import array
+from pathlib import Path
+from typing import Union
+
+from ..errors import TraceError
+from .trace import Trace, TraceMetadata
+
+_MAGIC = b"REPROTR1"
+_HEADER = struct.Struct("<8sII")  # magic, metadata length, event count
+
+PathLike = Union[str, Path]
+
+
+def _metadata_to_dict(metadata: TraceMetadata) -> dict:
+    return {
+        "name": metadata.name,
+        "seed": metadata.seed,
+        "description": metadata.description,
+        "instruction_count": metadata.instruction_count,
+        "conditional_count": metadata.conditional_count,
+        "virtual_events": metadata.virtual_events,
+        "returns_filtered": metadata.returns_filtered,
+        "extra": metadata.extra,
+    }
+
+
+def _metadata_from_dict(data: dict) -> TraceMetadata:
+    return TraceMetadata(
+        name=data["name"],
+        seed=data.get("seed", 0),
+        description=data.get("description", ""),
+        instruction_count=data.get("instruction_count", 0),
+        conditional_count=data.get("conditional_count", 0),
+        virtual_events=data.get("virtual_events", 0),
+        returns_filtered=data.get("returns_filtered", 0),
+        extra=data.get("extra", {}),
+    )
+
+
+def save_trace(trace: Trace, path: PathLike) -> None:
+    """Write a trace in the binary cache format."""
+    metadata_blob = json.dumps(_metadata_to_dict(trace.metadata)).encode("utf-8")
+    pcs = array("I", trace.pcs)
+    targets = array("I", trace.targets)
+    with open(path, "wb") as stream:
+        stream.write(_HEADER.pack(_MAGIC, len(metadata_blob), len(trace)))
+        stream.write(metadata_blob)
+        stream.write(pcs.tobytes())
+        stream.write(targets.tobytes())
+
+
+def load_trace(path: PathLike) -> Trace:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, "rb") as stream:
+        header = stream.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise TraceError(f"{path}: truncated trace header")
+        magic, metadata_length, event_count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceError(f"{path}: not a repro trace file (bad magic {magic!r})")
+        metadata_blob = stream.read(metadata_length)
+        if len(metadata_blob) != metadata_length:
+            raise TraceError(f"{path}: truncated metadata block")
+        try:
+            metadata = _metadata_from_dict(json.loads(metadata_blob.decode("utf-8")))
+        except (ValueError, KeyError) as exc:
+            raise TraceError(f"{path}: malformed metadata: {exc}") from exc
+        column_bytes = event_count * 4
+        pcs = array("I")
+        targets = array("I")
+        pc_blob = stream.read(column_bytes)
+        target_blob = stream.read(column_bytes)
+        if len(pc_blob) != column_bytes or len(target_blob) != column_bytes:
+            raise TraceError(f"{path}: truncated event columns")
+        pcs.frombytes(pc_blob)
+        targets.frombytes(target_blob)
+    trace = Trace(array("L", pcs), array("L", targets), metadata)
+    return trace
+
+
+def save_trace_text(trace: Trace, path: PathLike) -> None:
+    """Write a trace as ``pc target`` hex pairs, one event per line."""
+    with open(path, "w", encoding="utf-8") as stream:
+        stream.write(f"# repro trace: {trace.name} ({len(trace)} events)\n")
+        for pc, target in trace:
+            stream.write(f"{pc:08x} {target:08x}\n")
+
+
+def load_trace_text(path: PathLike, name: str = "imported") -> Trace:
+    """Read a text trace (comment lines starting with ``#`` are skipped)."""
+    pcs = array("L")
+    targets = array("L")
+    with open(path, "r", encoding="utf-8") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise TraceError(f"{path}:{line_number}: expected 'pc target'")
+            try:
+                pcs.append(int(parts[0], 16))
+                targets.append(int(parts[1], 16))
+            except (ValueError, OverflowError) as exc:
+                raise TraceError(f"{path}:{line_number}: bad address: {exc}") from exc
+    return Trace(pcs, targets, TraceMetadata(name=name))

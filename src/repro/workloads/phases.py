@@ -1,0 +1,177 @@
+"""Program phases and loop-structured class sequences.
+
+Real programs spend their time in nested loops: an interpreter's dispatch
+loop sees a nearly deterministic opcode sequence, a compiler walks ASTs
+whose node-type sequences repeat from expression to expression.  The paper
+attributes most indirect-branch predictability to exactly such short-period
+regularity ("most regularities in the indirect branch traces have a
+relatively short period", section 3.2.3).
+
+We model this with *loops*: a loop is a fixed sequence of *segments* —
+(class, run length) pairs — executed over and over; the program
+occasionally switches to another loop, a segment's class may be replaced at
+run time by a random one (``segment_noise``), and every item may deviate to
+a random class for one item (``class_noise``).  The knobs map directly onto
+predictor behaviour:
+
+* the *run structure* within loops (``repeat_prob``) sets how often
+  consecutive items share a class — the dominant driver of BTB accuracy;
+* the *loop period* sets how much history a two-level predictor needs to
+  locate itself in the sequence — the driver of the path-length curve:
+  exits of runs longer than the history window are inherently ambiguous,
+  so accuracy improves smoothly with ``p`` until the period is covered;
+* ``class_noise`` and loop switches are irreducible — the misprediction
+  floor;
+* phases replace the loop set and active classes wholesale — the warm-up
+  cost that punishes very long paths (section 3.2.3).
+
+Phases are generated lazily and deterministically from the schedule seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..errors import ConfigError
+from .rng import CategoricalSampler, derive_rng, permuted_zipf_sampler, zipf_weights
+
+
+class Phase:
+    """One program phase: an active class set and its loop structure."""
+
+    def __init__(
+        self,
+        index: int,
+        classes: List[int],
+        seed: int,
+        class_zipf: float,
+        loop_count: int,
+        loop_segments: int,
+        repeat_prob: float,
+        stable_run_mean: float = 4.0,
+    ) -> None:
+        if not classes:
+            raise ConfigError("a phase needs at least one active class")
+        if loop_count < 1:
+            raise ConfigError(f"a phase needs at least one loop, got {loop_count}")
+        if loop_segments < 1:
+            raise ConfigError(f"loops need at least one segment, got {loop_segments}")
+        if stable_run_mean < 1.0:
+            raise ConfigError(f"stable run mean must be >= 1, got {stable_run_mean}")
+        self.index = index
+        self.classes = classes
+        rng = derive_rng(seed, "phase-loops", index)
+        class_sampler = permuted_zipf_sampler(rng, classes, class_zipf)
+        # Run lengths are bimodal, as in real control flow: a segment is
+        # either *alternating* (a single item of its class before the next
+        # class — heterogeneous collections, grammar node sequences) or
+        # *stable* (a long run of the same class — homogeneous batches).
+        # ``repeat_prob`` is the probability a segment is stable; BTBs only
+        # miss where classes alternate, while two-level predictors learn
+        # the alternation pattern outright.
+        # Each segment carries a fixed *alternate* class: when segment
+        # noise fires at run time, the run processes the alternate instead
+        # of the scripted class.  Keeping the alternative fixed makes the
+        # noise narrow — one extra pattern variant per context, like a
+        # rarely-taken else-branch — instead of smearing the history space.
+        self.loops: List[List[Tuple[int, int, int]]] = []
+        for _ in range(loop_count):
+            body: List[Tuple[int, int, int]] = []
+            for _ in range(loop_segments):
+                class_id = class_sampler.sample()
+                alternate = class_sampler.sample()
+                if alternate == class_id and len(classes) > 1:
+                    alternate = classes[(classes.index(class_id) + 1) % len(classes)]
+                run_length = 1
+                if rng.random() < repeat_prob:
+                    run_length = 3
+                    while rng.random() < 1.0 - 1.0 / stable_run_mean:
+                        run_length += 1
+                body.append((class_id, run_length, alternate))
+            self.loops.append(body)
+        # Which loop the program tends to run: a few loops dominate.
+        self.loop_sampler = CategoricalSampler(
+            derive_rng(seed, "phase-loop-choice", index),
+            zipf_weights(loop_count, 1.5),
+        )
+
+    def random_class(self, uniform: float) -> int:
+        """Map a uniform [0,1) draw to an active class (noise deviations)."""
+        return self.classes[int(uniform * len(self.classes))]
+
+
+class PhaseSchedule:
+    """Lazily generated sequence of phases with working-set carryover."""
+
+    def __init__(
+        self,
+        seed: int,
+        total_classes: int,
+        active_classes: int,
+        phase_length: int,
+        carryover: float = 0.5,
+        class_zipf: float = 1.2,
+        loop_count: int = 4,
+        loop_segments: int = 6,
+        repeat_prob: float = 0.3,
+        stable_run_mean: float = 4.0,
+    ) -> None:
+        if total_classes < 1:
+            raise ConfigError(f"need at least one class, got {total_classes}")
+        if not 1 <= active_classes <= total_classes:
+            raise ConfigError(
+                f"active classes {active_classes} outside [1, {total_classes}]"
+            )
+        if phase_length < 1:
+            raise ConfigError(f"phase length must be positive, got {phase_length}")
+        if not 0.0 <= carryover <= 1.0:
+            raise ConfigError(f"carryover must be in [0,1], got {carryover}")
+        if not 0.0 <= repeat_prob < 1.0:
+            raise ConfigError(f"repeat probability must be in [0,1), got {repeat_prob}")
+        if stable_run_mean < 1.0:
+            raise ConfigError(f"stable run mean must be >= 1, got {stable_run_mean}")
+        self.seed = seed
+        self.total_classes = total_classes
+        self.active_classes = active_classes
+        self.phase_length = phase_length
+        self.carryover = carryover
+        self.class_zipf = class_zipf
+        self.loop_count = loop_count
+        self.loop_segments = loop_segments
+        self.repeat_prob = repeat_prob
+        self.stable_run_mean = stable_run_mean
+        self._phases: List[Phase] = []
+
+    def phase_for_item(self, item_index: int) -> Phase:
+        """The phase in effect for the item at the given stream position."""
+        return self.phase(item_index // self.phase_length)
+
+    def phase(self, index: int) -> Phase:
+        while len(self._phases) <= index:
+            self._phases.append(self._generate(len(self._phases)))
+        return self._phases[index]
+
+    def _generate(self, index: int) -> Phase:
+        rng = derive_rng(self.seed, "phase-classes", index)
+        universe = list(range(self.total_classes))
+        if index == 0 or self.carryover == 0.0:
+            classes = rng.sample(universe, self.active_classes)
+        else:
+            previous = self._phases[index - 1].classes
+            keep_count = min(
+                len(previous), max(0, round(self.carryover * self.active_classes))
+            )
+            kept = rng.sample(previous, keep_count)
+            fresh_pool = [cls for cls in universe if cls not in kept]
+            fresh = rng.sample(fresh_pool, self.active_classes - keep_count)
+            classes = kept + fresh
+        return Phase(
+            index,
+            classes,
+            self.seed,
+            self.class_zipf,
+            self.loop_count,
+            self.loop_segments,
+            self.repeat_prob,
+            self.stable_run_mean,
+        )

@@ -1,0 +1,490 @@
+"""Synthetic program execution model: the trace generator.
+
+This module replaces the paper's ``shade``-traced benchmark binaries.  A
+:class:`SyntheticProgram` models the structural sources of indirect-branch
+behaviour that the paper's predictors exploit (and suffer from):
+
+* **Work items** — the program processes a stream of items (AST nodes,
+  requests, tokens...), each with a data *class* produced by phase-local
+  deterministic loops with occasional noise deviations
+  (:mod:`repro.workloads.phases`).
+* **Flows** — processing an item walks a *flow*: a fixed sequence of
+  indirect-branch sites (a code path through the program).  Virtual-call
+  steps dispatch on the item's class (or on a correlated *field* object's
+  class), so all virtual branches within an item are mutually correlated —
+  this is the inter-branch correlation that makes global-history predictors
+  win (section 3.2.1).
+* **Switch noise** — switch/function-pointer steps take a deterministic
+  per-class *home case* except with probability ``switch_noise``, when a
+  single execution takes the class's fixed *alternate* case; together with
+  class/field excursions and random-class runs, this narrow noise sets each
+  benchmark's misprediction floor.
+* **Phases** — the class working set and Markov structure change every
+  ``phase_length_items`` items, recreating the warm-up penalty that makes
+  very long history paths unattractive (section 3.2.3).
+* **Site-frequency profile** — sites receive execution weights constructed
+  directly from the paper's active-site quantiles (Tables 1 and 2), so the
+  "2 sites cover 95% of go" style concentration is reproduced by design.
+
+Everything is derived deterministically from ``config.seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from array import array
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ConfigError
+from .classes import AddressSpace, TypeUniverse
+from .phases import PhaseSchedule
+from .rng import CategoricalSampler, derive_rng, geometric_length
+from .sites import BranchSite, make_site
+from .trace import Trace, TraceMetadata
+
+#: Default active-site profile: (coverage fraction, number of hottest sites).
+DEFAULT_QUANTILES: Tuple[Tuple[float, int], ...] = (
+    (0.90, 12),
+    (0.95, 20),
+    (0.99, 60),
+    (1.00, 200),
+)
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Full parameterisation of one synthetic benchmark program.
+
+    The per-benchmark instances (one for each program in the paper's Tables
+    1 and 2) live in :mod:`repro.workloads.suite`.
+    """
+
+    name: str
+    events: int
+    seed: int = 1998
+    description: str = ""
+
+    # --- address geometry -------------------------------------------------
+    text_size: int = 1 << 19
+
+    # --- type structure -------------------------------------------------
+    num_classes: int = 40
+    active_classes: int = 10
+    override_prob: float = 0.6
+    num_slots: int = 48
+
+    # --- site structure and frequency profile ------------------------------
+    site_quantiles: Tuple[Tuple[float, int], ...] = DEFAULT_QUANTILES
+    virtual_fraction: float = 0.75
+    mono_fraction: float = 0.15
+    fnptr_fraction: float = 0.05
+    cases_per_switch: int = 8
+    targets_per_fnptr: int = 4
+    switch_noise: float = 0.1
+
+    # --- control-flow structure ----------------------------------------
+    flow_count: int = 24
+    flow_length_mean: float = 6.0
+    flow_length_max: int = 12
+    step_skip_prob: float = 0.003
+    field_dispatch_prob: float = 0.2
+    field_noise: float = 0.05
+    class_flow_affinity: float = 0.95
+    flows_per_class: int = 3
+
+    # --- sequence dynamics -----------------------------------------------
+    repeat_prob: float = 0.3
+    stable_run_mean: float = 4.0
+    segment_noise: float = 0.0
+    loop_count: int = 4
+    loop_segments: int = 6
+    loop_repeat_prob: float = 0.85
+    class_noise: float = 0.02
+    class_zipf: float = 1.2
+    phase_length_items: int = 3000
+    phase_carryover: float = 0.5
+
+    # --- Table 1/2 bookkeeping -------------------------------------------
+    instructions_per_indirect: float = 100.0
+    conditionals_per_indirect: float = 15.0
+
+    def __post_init__(self) -> None:
+        if self.events < 1:
+            raise ConfigError(f"events must be positive, got {self.events}")
+        if not self.site_quantiles or self.site_quantiles[-1][0] != 1.00:
+            raise ConfigError("site quantiles must end with the (1.00, total) entry")
+        last_fraction, last_count = 0.0, 0
+        for fraction, count in self.site_quantiles:
+            if fraction <= last_fraction - 1e-12 or count < last_count:
+                raise ConfigError(
+                    f"site quantiles must be non-decreasing, got {self.site_quantiles}"
+                )
+            last_fraction, last_count = fraction, count
+        for name in ("virtual_fraction", "mono_fraction", "fnptr_fraction",
+                     "repeat_prob", "step_skip_prob", "field_dispatch_prob",
+                     "field_noise", "class_flow_affinity",
+                     "phase_carryover", "switch_noise", "loop_repeat_prob",
+                     "class_noise", "segment_noise"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0,1], got {value}")
+        if self.virtual_fraction + self.mono_fraction + self.fnptr_fraction > 1.0 + 1e-9:
+            raise ConfigError("virtual + mono + fnptr fractions exceed 1.0")
+        if self.flow_count < 1:
+            raise ConfigError(f"flow count must be positive, got {self.flow_count}")
+        if self.flow_length_max < 1:
+            raise ConfigError(f"flow length max must be positive, got {self.flow_length_max}")
+
+    @property
+    def total_sites(self) -> int:
+        return self.site_quantiles[-1][1]
+
+    def scaled(self, factor: float) -> "WorkloadConfig":
+        """The same workload with the event count scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigError(f"scale factor must be positive, got {factor}")
+        return replace(self, events=max(1, int(self.events * factor)))
+
+
+@dataclass(frozen=True)
+class FlowStep:
+    """One indirect branch within a flow."""
+
+    site_index: int
+    use_field: bool = False
+
+
+def quantile_weights(quantiles: Sequence[Tuple[float, int]]) -> List[float]:
+    """Site execution weights matching an active-site quantile profile.
+
+    Given the paper's columns — e.g. ``go``: 2 sites cover 90% and 95%, 5
+    cover 99%, 14 cover 100% — construct per-site weights whose cumulative
+    distribution passes through those points.  Within each quantile segment
+    the mass decays geometrically for a natural-looking profile.
+    """
+    weights: List[float] = []
+    previous_fraction = 0.0
+    previous_count = 0
+    pending_mass = 0.0
+    for fraction, count in quantiles:
+        segment_sites = count - previous_count
+        segment_mass = (fraction - previous_fraction) + pending_mass
+        if segment_sites == 0:
+            # Same site count as the previous quantile (e.g. go's 90%/95%):
+            # roll the mass into the next segment.
+            pending_mass = segment_mass
+        else:
+            pending_mass = 0.0
+            decay = 0.7
+            raw = [decay ** position for position in range(segment_sites)]
+            raw_total = sum(raw)
+            weights.extend(segment_mass * value / raw_total for value in raw)
+        previous_fraction, previous_count = fraction, count
+    if pending_mass > 0 and weights:
+        weights[-1] += pending_mass
+    return weights
+
+
+class SyntheticProgram:
+    """A synthetic benchmark program that generates indirect-branch traces."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self._build_structure()
+
+    # -- static program structure -----------------------------------------
+
+    def _build_structure(self) -> None:
+        config = self.config
+        structure_rng = derive_rng(config.seed, "structure")
+        self.address_space = AddressSpace(
+            derive_rng(config.seed, "addresses"), size=config.text_size
+        )
+        self.universe = TypeUniverse(
+            derive_rng(config.seed, "types"),
+            self.address_space,
+            config.num_classes,
+            config.num_slots,
+            config.override_prob,
+        )
+        self.site_weights = quantile_weights(config.site_quantiles)
+        self.sites = self._build_sites(structure_rng)
+        self.flows = self._build_flows(structure_rng)
+        self._class_flows = self._build_class_flows()
+        self._field_states: Dict[int, List[int]] = {}
+        # Fixed excursion partner per class: one-item class deviations go to
+        # the partner, keeping the noise alphabet at two.
+        partner_rng = derive_rng(config.seed, "class-partner")
+        self._class_partner = [
+            (class_id + 1 + partner_rng.randrange(max(1, config.num_classes - 1)))
+            % config.num_classes
+            for class_id in range(config.num_classes)
+        ]
+        self.schedule = PhaseSchedule(
+            seed=config.seed,
+            total_classes=config.num_classes,
+            active_classes=min(config.active_classes, config.num_classes),
+            phase_length=config.phase_length_items,
+            carryover=config.phase_carryover,
+            class_zipf=config.class_zipf,
+            loop_count=config.loop_count,
+            loop_segments=config.loop_segments,
+            repeat_prob=config.repeat_prob,
+            stable_run_mean=config.stable_run_mean,
+        )
+
+    def _build_sites(self, rng: random.Random) -> List[BranchSite]:
+        """Create the branch sites, greedily matching the dynamic kind mix."""
+        config = self.config
+        total = config.total_sites
+        # Scatter site PCs across the text segment so the s/h sharing sweeps
+        # see realistic address-region structure.  Sample without collision.
+        pcs: List[int] = []
+        seen = set()
+        while len(pcs) < total:
+            pc = self.address_space.random_address()
+            if pc not in seen:
+                seen.add(pc)
+                pcs.append(pc)
+        # Pool of non-method code targets (switch cases, pointed-to functions).
+        case_pool = [
+            self.address_space.allocate(48)
+            for _ in range(max(16, config.cases_per_switch * 8))
+        ]
+        targets = {
+            "virtual": config.virtual_fraction,
+            "mono": config.mono_fraction,
+            "fnptr": config.fnptr_fraction,
+        }
+        targets["switch"] = max(0.0, 1.0 - sum(targets.values()))
+        running: Dict[str, float] = {kind: 0.0 for kind in targets}
+        total_weight = 0.0
+        sites: List[BranchSite] = []
+        for pc, weight in zip(pcs, self.site_weights):
+            total_weight += weight
+            # Pick the kind furthest below its target share of dynamic events.
+            kind = max(
+                targets,
+                key=lambda k: targets[k] - running[k] / total_weight,
+            )
+            site = make_site(
+                kind,
+                pc,
+                rng,
+                self.universe,
+                case_pool,
+                config.seed,
+                config.cases_per_switch,
+                config.targets_per_fnptr,
+                config.switch_noise,
+            )
+            running[kind] += weight
+            sites.append(site)
+        return sites
+
+    def _build_flows(self, rng: random.Random) -> List[List[FlowStep]]:
+        """Flows sample their sites from the quantile weight profile."""
+        config = self.config
+        site_sampler = CategoricalSampler(rng, self.site_weights)
+        flows: List[List[FlowStep]] = []
+        used = set()
+        minimum_length = 1 if config.flow_length_mean < 2.0 else 2
+        for _ in range(config.flow_count):
+            length = geometric_length(
+                rng, config.flow_length_mean, minimum_length, config.flow_length_max
+            )
+            # Sites appear at most once per flow: a code path executes each
+            # call site once, and repetition within an item would blunt the
+            # class-alternation behaviour that BTBs are sensitive to.
+            length = min(length, len(self.sites))
+            steps: List[FlowStep] = []
+            chosen = set()
+            attempts = 0
+            while len(steps) < length and attempts < 30 * length:
+                attempts += 1
+                site_index = site_sampler.sample()
+                if site_index in chosen:
+                    continue
+                chosen.add(site_index)
+                used.add(site_index)
+                use_field = (
+                    self.sites[site_index].is_virtual
+                    and rng.random() < config.field_dispatch_prob
+                )
+                steps.append(FlowStep(site_index, use_field))
+            flows.append(steps)
+        # Guarantee coverage of the cold tail: an "initialisation" flow runs
+        # every site once at program start-up, so the trace's 100% active-
+        # site quantile matches the configured site count even when some
+        # flows end up unused by the phase schedule.
+        del used
+        self._init_flow = [FlowStep(index) for index in range(len(self.sites))]
+        return flows
+
+    def _build_class_flows(self) -> List[List[int]]:
+        """Per-class preferred flows (code paths tied to data types).
+
+        The flow an item takes is a *deterministic* function of its class
+        and its position in the current loop (real code paths do not flip
+        coins); the ``class_flow_affinity`` knob leaves a small probability
+        of deviating to a random flow, which contributes to the benchmark's
+        misprediction floor.
+        """
+        config = self.config
+        per_class: List[List[int]] = []
+        for class_id in range(config.num_classes):
+            rng = derive_rng(config.seed, "class-flows", class_id)
+            count = min(config.flows_per_class, config.flow_count)
+            per_class.append(rng.sample(range(config.flow_count), count))
+        return per_class
+
+    def _field_state(self, class_id: int) -> List[int]:
+        """Sticky field-object state for one class.
+
+        An item's *field object* (e.g. the operand of an AST node) has one
+        of two classes: a primary and a rare alternate.  With probability
+        ``field_noise`` a single item uses the alternate (an excursion) —
+        one-off data that costs a BTB two consecutive mispredictions but a
+        2bc-updated predictor only one.
+        """
+        state = self._field_states.get(class_id)
+        if state is None:
+            rng = derive_rng(self.config.seed, "field-class", class_id)
+            choices = rng.sample(
+                range(self.config.num_classes),
+                min(2, self.config.num_classes),
+            )
+            if len(choices) == 1:
+                choices = [choices[0], choices[0]]
+            state = [choices[0], choices[1], 0]
+            self._field_states[class_id] = state
+        return state
+
+    # -- trace generation ---------------------------------------------------
+
+    def generate(self, events: Optional[int] = None) -> Trace:
+        """Run the program model and emit an indirect-branch trace."""
+        config = self.config
+        target_events = events if events is not None else config.events
+        stream_rng = derive_rng(config.seed, "stream")
+        stream_random = stream_rng.random
+
+        pcs = array("L")
+        targets = array("L")
+        append_pc = pcs.append
+        append_target = targets.append
+        virtual_events = 0
+
+        sites = self.sites
+        flows = self.flows
+        class_flows = self._class_flows
+        affinity = config.class_flow_affinity
+        skip_prob = config.step_skip_prob
+        repeat_prob = config.repeat_prob
+        flow_count = config.flow_count
+
+        # Initialisation: touch the cold sites once (program start-up).
+        boot_class = 0
+        for step in self._init_flow:
+            site = sites[step.site_index]
+            append_pc(site.pc)
+            append_target(site.resolve(boot_class))
+            if site.kind == "virtual":
+                virtual_events += 1
+
+        item_index = 0
+        phase = self.schedule.phase(0)
+        phase_index = 0
+        loop = phase.loops[phase.loop_sampler.sample()]
+        segment_index = 0
+        run_remaining = 0
+        run_class = 0
+        loop_repeat = config.loop_repeat_prob
+        class_noise = config.class_noise
+        segment_noise = config.segment_noise
+        field_noise = config.field_noise
+
+        while len(pcs) < target_events:
+            new_phase_index = item_index // self.schedule.phase_length
+            if new_phase_index != phase_index:
+                phase_index = new_phase_index
+                phase = self.schedule.phase(phase_index)
+                loop = phase.loops[phase.loop_sampler.sample()]
+                segment_index = 0
+                run_remaining = 0
+
+            if run_remaining == 0:
+                if segment_index >= len(loop):
+                    segment_index = 0
+                    if stream_random() >= loop_repeat:
+                        loop = phase.loops[phase.loop_sampler.sample()]
+                run_class, run_remaining, run_alternate = loop[segment_index]
+                segment_index += 1
+                if segment_noise and stream_random() < segment_noise:
+                    # The whole run processes items of the segment's
+                    # alternate class: one cold item, then smooth sailing —
+                    # this noise channel hits BTBs and history predictors
+                    # equally, and its fixed alternative keeps the pattern
+                    # space narrow.
+                    run_class = run_alternate
+            run_remaining -= 1
+
+            if class_noise and stream_random() < class_noise:
+                current_class = self._class_partner[run_class]
+            else:
+                current_class = run_class
+
+            preferred = class_flows[current_class]
+            if stream_random() < affinity:
+                flow = flows[preferred[segment_index % len(preferred)]]
+            else:
+                # Deviate to the class's next preferred flow — a narrow,
+                # learnable deviation rather than a uniformly random one.
+                flow = flows[preferred[(segment_index + 1) % len(preferred)]]
+            field_state = self._field_state(current_class)
+            if field_noise and stream_random() < field_noise:
+                field_class = field_state[1 - field_state[2]]
+            else:
+                field_class = field_state[field_state[2]]
+
+            for step in flow:
+                if len(pcs) >= target_events:
+                    break
+                if skip_prob and stream_random() < skip_prob:
+                    continue
+                site = sites[step.site_index]
+                append_pc(site.pc)
+                append_target(
+                    site.resolve(field_class if step.use_field else current_class)
+                )
+                if site.kind == "virtual":
+                    virtual_events += 1
+            item_index += 1
+
+        jitter_rng = derive_rng(config.seed, "counts")
+        instruction_count = round(
+            target_events
+            * config.instructions_per_indirect
+            * jitter_rng.uniform(0.98, 1.02)
+        )
+        conditional_count = round(
+            target_events
+            * config.conditionals_per_indirect
+            * jitter_rng.uniform(0.98, 1.02)
+        )
+        metadata = TraceMetadata(
+            name=config.name,
+            seed=config.seed,
+            description=config.description,
+            instruction_count=instruction_count,
+            conditional_count=conditional_count,
+            virtual_events=virtual_events,
+            extra={"items": item_index, "phases": phase_index + 1},
+        )
+        return Trace(pcs, targets, metadata)
+
+
+def generate_trace(config: WorkloadConfig, events: Optional[int] = None) -> Trace:
+    """Convenience wrapper: build the program and generate its trace."""
+    return SyntheticProgram(config).generate(events)

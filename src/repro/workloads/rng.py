@@ -1,0 +1,103 @@
+"""Deterministic random-sampling utilities for workload generation.
+
+All workload randomness flows through :class:`random.Random` instances
+seeded explicitly, so traces are reproducible bit-for-bit across runs and
+platforms.  Child generators are derived with :func:`child_rng` so that
+independent program components (sites, phases, the item stream) do not
+perturb each other's streams when parameters change.
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_right
+from itertools import accumulate
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError
+
+
+def derive_rng(seed: int, *scope: object) -> random.Random:
+    """A generator derived from a base seed and a scope description.
+
+    Independent program components (sites, phases, the item stream) each get
+    their own derived stream, so changing one component's parameters never
+    perturbs another's randomness: ``derive_rng(seed, "site", 17)``.
+    """
+    return random.Random(f"{seed}:{repr(scope)}")
+
+
+def zipf_weights(count: int, exponent: float) -> List[float]:
+    """Normalised Zipf weights ``1/rank**exponent`` for ``count`` items."""
+    if count < 1:
+        raise ConfigError(f"zipf weight count must be >= 1, got {count}")
+    raw = [1.0 / (rank ** exponent) for rank in range(1, count + 1)]
+    total = sum(raw)
+    return [weight / total for weight in raw]
+
+
+def geometric_length(rng: random.Random, mean: float, minimum: int, maximum: int) -> int:
+    """A geometric-ish integer length with the given mean, clipped to a range."""
+    if mean <= minimum:
+        return minimum
+    # Geometric distribution on {minimum, minimum+1, ...} with the target mean.
+    success = 1.0 / (mean - minimum + 1.0)
+    length = minimum
+    while length < maximum and rng.random() > success:
+        length += 1
+    return length
+
+
+class CategoricalSampler:
+    """Fast repeated sampling from a fixed categorical distribution.
+
+    Precomputes the cumulative distribution so each sample is one uniform
+    draw plus a binary search — the workload generator calls this once or
+    more per emitted branch event.
+    """
+
+    __slots__ = ("_cumulative", "_values", "_rng")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        weights: Sequence[float],
+        values: Optional[Sequence[int]] = None,
+    ) -> None:
+        if not weights:
+            raise ConfigError("categorical sampler needs at least one weight")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ConfigError("categorical weights must sum to a positive value")
+        self._cumulative = list(accumulate(weight / total for weight in weights))
+        # Guard against floating point drift on the final bucket.
+        self._cumulative[-1] = 1.0
+        self._values = list(values) if values is not None else list(range(len(weights)))
+        if len(self._values) != len(weights):
+            raise ConfigError(
+                f"got {len(self._values)} values for {len(weights)} weights"
+            )
+        self._rng = rng
+
+    def sample(self) -> int:
+        """Draw one value."""
+        return self._values[bisect_right(self._cumulative, self._rng.random())]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+
+def permuted_zipf_sampler(
+    rng: random.Random,
+    values: Sequence[int],
+    exponent: float,
+) -> CategoricalSampler:
+    """A categorical sampler with Zipf weights over a random permutation.
+
+    This is the workhorse for "concentrated but arbitrary" distributions:
+    which value is hot is random (decided by ``rng``), how hot it is is
+    controlled by ``exponent``.
+    """
+    shuffled = list(values)
+    rng.shuffle(shuffled)
+    return CategoricalSampler(rng, zipf_weights(len(shuffled), exponent), shuffled)

@@ -1,0 +1,199 @@
+"""Indirect-branch site models.
+
+The paper distinguishes the sources of indirect branches (Table 1): virtual
+function calls, indirect calls through function pointers, and indirect
+jumps from switch statements.  Each is modelled by a site class with a
+``resolve(class_id)`` method returning the target of one execution:
+
+* :class:`VirtualCallSite` — target is fully determined by the receiver
+  class (a vtable lookup in :class:`~repro.workloads.classes.TypeUniverse`).
+  This is the *deterministic, data-correlated* component that history-based
+  predictors exploit.
+* :class:`SwitchSite` — each data class has a deterministic *home case*
+  plus a rarely-taken *alternate*, with a per-site ``noise`` probability of
+  a one-execution excursion to the alternate: the home case models value
+  flow from the data type (e.g. an interpreter's opcode dispatch), the
+  excursions model data-dependent behaviour that no predictor can remove.
+* :class:`FunctionPointerSite` — like a switch over a small set of callees.
+* :class:`MonomorphicSite` — a single target (e.g. a non-overridden virtual
+  or a singleton function pointer); trivially predictable, and frequent
+  enough in real programs to matter for BTB averages.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence
+
+from ..errors import ConfigError
+from .classes import TypeUniverse
+from .rng import derive_rng
+
+#: Site kind names, matching the paper's taxonomy.
+SITE_KINDS = ("virtual", "switch", "fnptr", "mono")
+
+
+class BranchSite:
+    """Base class: an indirect branch at a fixed code address."""
+
+    kind = "abstract"
+
+    def __init__(self, pc: int) -> None:
+        if pc % 4 != 0:
+            raise ConfigError(f"site pc must be word aligned, got {pc:#x}")
+        self.pc = pc
+
+    def resolve(self, class_id: int) -> int:
+        """Target of one execution given the dispatching class."""
+        raise NotImplementedError
+
+    @property
+    def is_virtual(self) -> bool:
+        return self.kind == "virtual"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(pc={self.pc:#x})"
+
+
+class VirtualCallSite(BranchSite):
+    """A virtual function call on a fixed vtable slot."""
+
+    kind = "virtual"
+
+    def __init__(self, pc: int, universe: TypeUniverse, slot: int) -> None:
+        super().__init__(pc)
+        if not 0 <= slot < universe.num_slots:
+            raise ConfigError(
+                f"slot {slot} outside universe with {universe.num_slots} slots"
+            )
+        self.universe = universe
+        self.slot = slot
+
+    def resolve(self, class_id: int) -> int:
+        return self.universe.method_address(class_id, self.slot)
+
+    def targets(self) -> Sequence[int]:
+        """All reachable targets (diagnostics)."""
+        return sorted(set(self.universe.slot_implementations(self.slot).values()))
+
+
+class SwitchSite(BranchSite):
+    """An indirect jump through a switch/jump table.
+
+    Each data class has two reachable cases — a *home* and an *alternate* —
+    derived deterministically from the site seed: executions normally take
+    the home case (value flow from the data type into the switch), but with
+    probability ``noise`` a single execution takes the alternate — an
+    irreducible one-off excursion, the way a rarely-taken else-branch fires
+    in a real program.  ``noise`` therefore controls a benchmark's
+    misprediction floor while staying *narrow*: the history space per
+    context gains only one variant, rather than being smeared with
+    uniformly random targets.  Excursions are also what makes the 2bc
+    update rule pay off: a BTB that updates on every miss mispredicts twice
+    per excursion, a 2bc one only once.
+    """
+
+    kind = "switch"
+
+    def __init__(
+        self,
+        pc: int,
+        case_targets: Sequence[int],
+        seed: int,
+        noise: float = 0.1,
+    ) -> None:
+        super().__init__(pc)
+        if not case_targets:
+            raise ConfigError("a switch site needs at least one case target")
+        if not 0.0 <= noise <= 1.0:
+            raise ConfigError(f"switch noise must be in [0,1], got {noise}")
+        self.case_targets = list(case_targets)
+        self.noise = noise
+        self._seed = seed
+        self._cases: Dict[int, tuple] = {}
+        self._rng = derive_rng(seed, "switch-noise", pc)
+
+    def cases_for(self, class_id: int) -> tuple:
+        """The (home, alternate) cases for items of ``class_id``."""
+        cases = self._cases.get(class_id)
+        if cases is None:
+            rng = derive_rng(self._seed, "switch-home", self.pc, class_id)
+            count = len(self.case_targets)
+            home = rng.randrange(count)
+            alternate = rng.randrange(count - 1) if count > 1 else home
+            if alternate >= home and count > 1:
+                alternate += 1
+            cases = (home, alternate)
+            self._cases[class_id] = cases
+        return cases
+
+    def resolve(self, class_id: int) -> int:
+        home, alternate = self.cases_for(class_id)
+        if self.noise and self._rng.random() < self.noise:
+            return self.case_targets[alternate]
+        return self.case_targets[home]
+
+
+class FunctionPointerSite(SwitchSite):
+    """An indirect call through a function pointer.
+
+    Behaviourally a switch over a (typically small) callee set; modelled by
+    inheritance with its own kind tag so workload statistics can report the
+    paper's virtual/pointer/switch mix.
+    """
+
+    kind = "fnptr"
+
+
+class MonomorphicSite(BranchSite):
+    """An indirect branch that only ever has one target."""
+
+    kind = "mono"
+
+    def __init__(self, pc: int, target: int) -> None:
+        super().__init__(pc)
+        self.target = target
+
+    def resolve(self, class_id: int) -> int:
+        return self.target
+
+
+def make_site(
+    kind: str,
+    pc: int,
+    rng: random.Random,
+    universe: TypeUniverse,
+    case_pool: Sequence[int],
+    seed: int,
+    cases_per_switch: int,
+    targets_per_fnptr: int,
+    noise: float,
+) -> BranchSite:
+    """Construct a site of the requested kind with workload-level defaults."""
+    if kind == "virtual":
+        return VirtualCallSite(pc, universe, rng.randrange(universe.num_slots))
+    if kind == "mono":
+        return MonomorphicSite(pc, rng.choice(case_pool))
+    if kind in ("switch", "fnptr"):
+        count = cases_per_switch if kind == "switch" else targets_per_fnptr
+        count = max(2, min(count, len(case_pool)))
+        targets = rng.sample(list(case_pool), count)
+        site_cls = SwitchSite if kind == "switch" else FunctionPointerSite
+        return site_cls(pc, targets, seed, noise)
+    raise ConfigError(f"unknown site kind {kind!r}; expected one of {SITE_KINDS}")
+
+
+def dynamic_kind_mix(sites: List[BranchSite], counts: Dict[int, int]) -> Dict[str, float]:
+    """Execution-weighted fraction of events per site kind (diagnostics)."""
+    totals: Dict[str, int] = {}
+    grand_total = 0
+    by_pc = {site.pc: site for site in sites}
+    for pc, count in counts.items():
+        site = by_pc.get(pc)
+        if site is None:
+            continue
+        totals[site.kind] = totals.get(site.kind, 0) + count
+        grand_total += count
+    if grand_total == 0:
+        return {}
+    return {kind: count / grand_total for kind, count in totals.items()}

@@ -1,0 +1,127 @@
+"""Trace statistics: the workload-characterisation columns of Tables 1 and 2.
+
+These functions measure *generated* traces; the experiment layer compares
+them against the paper's published values to validate that the synthetic
+substitutes have the right structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import TraceError
+from .trace import Trace
+
+#: The coverage fractions the paper tabulates ("active branch sites").
+DEFAULT_FRACTIONS: Tuple[float, ...] = (0.90, 0.95, 0.99, 1.00)
+
+
+def active_site_quantiles(
+    trace: Trace, fractions: Sequence[float] = DEFAULT_FRACTIONS
+) -> Dict[float, int]:
+    """Number of hottest sites covering each fraction of dynamic branches.
+
+    E.g. the paper reports that 2 branch sites are responsible for 95% of
+    the dynamic indirect branches in *go*.
+    """
+    if len(trace) == 0:
+        raise TraceError("cannot compute site quantiles of an empty trace")
+    counts = sorted(trace.site_counts().values(), reverse=True)
+    total = len(trace)
+    results: Dict[float, int] = {}
+    for fraction in fractions:
+        threshold = fraction * total
+        covered = 0
+        needed = 0
+        for count in counts:
+            if covered >= threshold - 1e-9:
+                break
+            covered += count
+            needed += 1
+        results[fraction] = needed
+    return results
+
+
+def distinct_patterns(trace: Trace, path_length: int) -> int:
+    """Distinct (branch, full-precision global path) keys in the trace.
+
+    Reproduces the paper's section 5.1 analysis: "*ixx* generates 203
+    different patterns for path length p=0, 402 for p=1, ... 9403 for
+    p=12".  A growing pattern count is what turns small tables into
+    capacity-miss generators at long path lengths.
+    """
+    if path_length < 0:
+        raise TraceError(f"path length must be non-negative, got {path_length}")
+    seen = set()
+    history: Tuple[int, ...] = ()
+    for pc, target in trace:
+        seen.add((pc, history))
+        if path_length:
+            history = (history + (target,))[-path_length:]
+    return len(seen)
+
+
+def per_site_target_counts(trace: Trace) -> Dict[int, int]:
+    """Number of distinct targets observed at each site (polymorphism)."""
+    targets: Dict[int, set] = {}
+    for pc, target in trace:
+        targets.setdefault(pc, set()).add(target)
+    return {pc: len(values) for pc, values in targets.items()}
+
+
+def polymorphic_fraction(trace: Trace) -> float:
+    """Fraction of dynamic branches executed at sites with >1 target."""
+    if len(trace) == 0:
+        return 0.0
+    polymorphic = {
+        pc for pc, count in per_site_target_counts(trace).items() if count > 1
+    }
+    dynamic = sum(
+        count for pc, count in trace.site_counts().items() if pc in polymorphic
+    )
+    return dynamic / len(trace)
+
+
+@dataclass(frozen=True)
+class TraceCharacteristics:
+    """All Table 1/2 columns for one trace."""
+
+    name: str
+    branches: int
+    instructions_per_indirect: float
+    conditionals_per_indirect: float
+    virtual_fraction: float
+    site_quantiles: Dict[float, int]
+    distinct_sites: int
+    distinct_targets: int
+    polymorphic_event_fraction: float
+
+    def row(self) -> List[object]:
+        """Values in the paper's column order (for table rendering)."""
+        return [
+            self.name,
+            self.branches,
+            round(self.instructions_per_indirect, 1),
+            round(self.conditionals_per_indirect, 1),
+            f"{self.virtual_fraction:.0%}",
+            self.site_quantiles.get(0.90),
+            self.site_quantiles.get(0.95),
+            self.site_quantiles.get(0.99),
+            self.site_quantiles.get(1.00),
+        ]
+
+
+def characterize(trace: Trace) -> TraceCharacteristics:
+    """Measure every Table 1/2 statistic of a trace."""
+    return TraceCharacteristics(
+        name=trace.name,
+        branches=len(trace),
+        instructions_per_indirect=trace.instructions_per_indirect,
+        conditionals_per_indirect=trace.conditionals_per_indirect,
+        virtual_fraction=trace.virtual_fraction,
+        site_quantiles=active_site_quantiles(trace),
+        distinct_sites=trace.distinct_sites(),
+        distinct_targets=trace.distinct_targets(),
+        polymorphic_event_fraction=polymorphic_fraction(trace),
+    )

@@ -1,0 +1,158 @@
+"""Trace data model: what the predictors consume.
+
+A :class:`Trace` is the moral equivalent of the paper's shade-derived
+indirect-branch traces: a sequence of ``(branch PC, resolved target)``
+pairs, with procedure returns already filtered out (they are predicted by a
+return address stack; see :mod:`repro.core.ras`), plus the bookkeeping
+needed to reproduce the workload-characterisation columns of Tables 1 and 2
+(instructions per indirect branch, conditionals per indirect branch,
+virtual-call fraction).
+
+Events are stored as parallel ``array('L')`` columns: compact enough to keep
+tens of traces in memory, and fast to iterate from pure Python.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+from ..errors import TraceError
+
+#: Addresses are 32-bit (word-aligned) as in the paper's SPARC traces.
+_ADDRESS_LIMIT = 1 << 32
+
+
+@dataclass
+class TraceMetadata:
+    """Workload-characterisation metadata accompanying a trace."""
+
+    name: str
+    seed: int = 0
+    description: str = ""
+    #: Total (modelled) instructions executed, for the instr/indirect column.
+    instruction_count: int = 0
+    #: Total (modelled) conditional branches, for the cond/indirect column.
+    conditional_count: int = 0
+    #: Events that came from virtual function call sites.
+    virtual_events: int = 0
+    #: Procedure-return branches removed by the return-address-stack filter.
+    returns_filtered: int = 0
+    #: Free-form extras (workload parameters, phase log, ...).
+    extra: Dict[str, object] = field(default_factory=dict)
+
+
+class Trace:
+    """An indirect-branch trace: parallel PC/target columns plus metadata."""
+
+    def __init__(
+        self,
+        pcs: Sequence[int],
+        targets: Sequence[int],
+        metadata: TraceMetadata,
+    ) -> None:
+        if len(pcs) != len(targets):
+            raise TraceError(
+                f"pc column has {len(pcs)} events but target column has {len(targets)}"
+            )
+        self.pcs: array = pcs if isinstance(pcs, array) else array("L", pcs)
+        self.targets: array = (
+            targets if isinstance(targets, array) else array("L", targets)
+        )
+        self.metadata = metadata
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def from_events(
+        cls, events: Iterable[Tuple[int, int]], metadata: TraceMetadata
+    ) -> "Trace":
+        """Build a trace from an iterable of ``(pc, target)`` pairs."""
+        pcs = array("L")
+        targets = array("L")
+        for pc, target in events:
+            if not 0 <= pc < _ADDRESS_LIMIT or not 0 <= target < _ADDRESS_LIMIT:
+                raise TraceError(f"event ({pc:#x}, {target:#x}) outside 32-bit space")
+            pcs.append(pc)
+            targets.append(target)
+        return cls(pcs, targets, metadata)
+
+    # -- sequence behaviour ---------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return zip(self.pcs, self.targets)
+
+    def __getitem__(self, index: int) -> Tuple[int, int]:
+        return self.pcs[index], self.targets[index]
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace (shares metadata by reference; counters unchanged)."""
+        return Trace(self.pcs[start:stop], self.targets[start:stop], self.metadata)
+
+    # -- characterisation ---------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.metadata.name
+
+    @property
+    def indirect_count(self) -> int:
+        return len(self.pcs)
+
+    @property
+    def instructions_per_indirect(self) -> float:
+        """The paper's "instr. / indirect" column."""
+        if not self.pcs:
+            return 0.0
+        return self.metadata.instruction_count / len(self.pcs)
+
+    @property
+    def conditionals_per_indirect(self) -> float:
+        """The paper's "cond. / indirect" column."""
+        if not self.pcs:
+            return 0.0
+        return self.metadata.conditional_count / len(self.pcs)
+
+    @property
+    def virtual_fraction(self) -> float:
+        """Fraction of events that are virtual function calls ("virt. func.")."""
+        if not self.pcs:
+            return 0.0
+        return self.metadata.virtual_events / len(self.pcs)
+
+    def site_counts(self) -> Dict[int, int]:
+        """Dynamic execution count per branch site (keyed by PC)."""
+        counts: Dict[int, int] = {}
+        for pc in self.pcs:
+            counts[pc] = counts.get(pc, 0) + 1
+        return counts
+
+    def distinct_sites(self) -> int:
+        return len(set(self.pcs))
+
+    def distinct_targets(self) -> int:
+        return len(set(self.targets))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Trace({self.metadata.name!r}, events={len(self)})"
+
+
+def concatenate(traces: List[Trace], name: str) -> Trace:
+    """Concatenate traces back-to-back (used by multiprogramming tests)."""
+    if not traces:
+        raise TraceError("cannot concatenate an empty list of traces")
+    pcs = array("L")
+    targets = array("L")
+    metadata = TraceMetadata(name=name, seed=traces[0].metadata.seed)
+    for trace in traces:
+        pcs.extend(trace.pcs)
+        targets.extend(trace.targets)
+        metadata.instruction_count += trace.metadata.instruction_count
+        metadata.conditional_count += trace.metadata.conditional_count
+        metadata.virtual_events += trace.metadata.virtual_events
+        metadata.returns_filtered += trace.metadata.returns_filtered
+    return Trace(pcs, targets, metadata)

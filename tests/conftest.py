@@ -1,0 +1,40 @@
+"""Shared fixtures for the test suite.
+
+Simulation-heavy tests use a session-scoped runner over a reduced,
+scaled-down benchmark subset so the whole suite stays fast while still
+exercising real generated traces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.suite_runner import SuiteRunner
+from repro.workloads import WorkloadConfig, generate_trace
+
+#: Benchmarks spanning the suite's behaviour space: one highly predictable,
+#: one BTB-hostile-but-learnable, one noisy.
+TINY_BENCHMARKS = ("perl", "ixx", "jhm")
+
+
+@pytest.fixture(scope="session")
+def tiny_runner() -> SuiteRunner:
+    """A shared runner over three representative, shortened benchmarks."""
+    return SuiteRunner(benchmarks=TINY_BENCHMARKS, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A small synthetic trace with default workload structure."""
+    config = WorkloadConfig(name="unit", events=4000, seed=7)
+    return generate_trace(config)
+
+
+@pytest.fixture(scope="session")
+def alternating_trace():
+    """A crafted two-target alternating trace: the simplest learnable case."""
+    from repro.workloads import Trace, TraceMetadata
+
+    pcs = [0x1000] * 2000
+    targets = [0x2000 if index % 2 == 0 else 0x3000 for index in range(2000)]
+    return Trace(pcs, targets, TraceMetadata(name="alternating", seed=0))

@@ -1,0 +1,47 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+from repro.workloads import load_trace, load_trace_text
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(["simulate", "btb", "perl"])
+        assert args.spec == "btb"
+        assert args.benchmarks == ["perl"]
+
+    def test_trace_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace", "doom", "x.bin"])
+
+
+class TestCommands:
+    def test_simulate_prints_rates(self, capsys):
+        assert main(["simulate", "btb", "perl"]) == 0
+        output = capsys.readouterr().out
+        assert "perl" in output
+        assert "miss %" in output
+
+    def test_trace_writes_binary(self, tmp_path, capsys):
+        path = tmp_path / "t.bin"
+        assert main(["trace", "xlisp", str(path), "--scale", "0.01"]) == 0
+        trace = load_trace(path)
+        assert trace.name == "xlisp"
+        assert len(trace) > 0
+
+    def test_trace_writes_text(self, tmp_path):
+        path = tmp_path / "t.txt"
+        assert main(["trace", "xlisp", str(path), "--scale", "0.01"]) == 0
+        assert len(load_trace_text(path)) > 0
+
+    def test_bad_spec_raises_config_error(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["simulate", "nonsense:spec"])

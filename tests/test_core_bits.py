@@ -1,0 +1,191 @@
+"""Unit tests for repro.core.bits — bit selection, folding, interleaving."""
+
+import pytest
+
+from repro.core.bits import (
+    ADDRESS_BITS,
+    PATTERN_BIT_BUDGET,
+    InterleavePermutation,
+    bits_per_element,
+    fold_xor,
+    mask,
+    pack_elements,
+    rotation_order,
+    select_bits,
+    unpack_elements,
+)
+from repro.errors import ConfigError
+
+
+class TestMask:
+    def test_zero_width(self):
+        assert mask(0) == 0
+
+    def test_small_widths(self):
+        assert mask(1) == 0b1
+        assert mask(4) == 0b1111
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_negative_width_rejected(self):
+        with pytest.raises(ConfigError):
+            mask(-1)
+
+
+class TestSelectBits:
+    def test_low_bits(self):
+        assert select_bits(0b101100, 2, 3) == 0b011
+
+    def test_paper_default_range(self):
+        # Bits [2..2+b-1] of a word-aligned address skip the alignment zeros.
+        address = 0x0001_2344
+        assert select_bits(address, 2, 8) == (address >> 2) & 0xFF
+
+    def test_full_width(self):
+        assert select_bits(0xDEADBEEF, 0, 32) == 0xDEADBEEF
+
+    def test_negative_low_rejected(self):
+        with pytest.raises(ConfigError):
+            select_bits(1, -1, 4)
+
+
+class TestFoldXor:
+    def test_folds_to_width(self):
+        value = 0xAB_CD_EF_12
+        assert fold_xor(value, 8) == 0xAB ^ 0xCD ^ 0xEF ^ 0x12
+
+    def test_zero_value(self):
+        assert fold_xor(0, 8) == 0
+
+    def test_width_larger_than_value(self):
+        assert fold_xor(0x3, 16) == 0x3
+
+    def test_result_within_width(self):
+        for width in (1, 3, 7, 13):
+            assert fold_xor(0xFFFFFFFF, width) <= mask(width)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ConfigError):
+            fold_xor(1, 0)
+
+
+class TestBitsPerElement:
+    def test_paper_examples(self):
+        # "for path length 2 we choose 12 bits ... for path length 6 we
+        # choose 4" (section 4.1).
+        assert bits_per_element(2) == 12
+        assert bits_per_element(6) == 4
+
+    def test_budget_respected(self):
+        for path in range(1, PATTERN_BIT_BUDGET + 1):
+            width = bits_per_element(path)
+            assert width * path <= PATTERN_BIT_BUDGET
+            # Largest such width: one more bit would break the budget.
+            assert (width + 1) * path > PATTERN_BIT_BUDGET
+
+    def test_zero_path_returns_budget(self):
+        assert bits_per_element(0) == PATTERN_BIT_BUDGET
+
+    def test_too_long_path_rejected(self):
+        with pytest.raises(ConfigError):
+            bits_per_element(PATTERN_BIT_BUDGET + 1)
+
+
+class TestPacking:
+    def test_most_recent_in_low_bits(self):
+        packed = pack_elements([0xA, 0xB, 0xC], 4)
+        assert packed & 0xF == 0xA
+        assert (packed >> 4) & 0xF == 0xB
+        assert (packed >> 8) & 0xF == 0xC
+
+    def test_roundtrip(self):
+        elements = (3, 14, 7, 0, 9)
+        packed = pack_elements(elements, 4)
+        assert unpack_elements(packed, len(elements), 4) == elements
+
+    def test_elements_masked_to_width(self):
+        assert pack_elements([0x1FF], 4) == 0xF
+
+
+class TestRotationOrder:
+    def test_straight(self):
+        assert rotation_order(4, "straight") == [0, 1, 2, 3]
+
+    def test_reverse(self):
+        assert rotation_order(4, "reverse") == [3, 2, 1, 0]
+
+    def test_pingpong_alternates_ends(self):
+        assert rotation_order(4, "pingpong") == [0, 3, 1, 2]
+        assert rotation_order(5, "pingpong") == [0, 4, 1, 3, 2]
+
+    def test_every_scheme_is_a_permutation(self):
+        for scheme in ("straight", "reverse", "pingpong"):
+            for path in (1, 2, 3, 7):
+                assert sorted(rotation_order(path, scheme)) == list(range(path))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            rotation_order(4, "zigzag")
+
+    def test_zero_path_rejected(self):
+        with pytest.raises(ConfigError):
+            rotation_order(0, "straight")
+
+
+class TestInterleavePermutation:
+    def test_low_key_bits_contain_every_elements_low_bit(self):
+        # The whole point of interleaving (section 5.2.1): the index part
+        # of the key sees bits from all targets.
+        path, width = 4, 3
+        perm = InterleavePermutation(path, width, "reverse")
+        for element_index in range(path):
+            only_that_element = pack_elements(
+                [1 if index == element_index else 0 for index in range(path)], width
+            )
+            interleaved = perm.apply(only_that_element)
+            assert interleaved & mask(path) != 0, (
+                f"element {element_index}'s bit 0 must land in the low {path} bits"
+            )
+
+    def test_reverse_gives_oldest_element_lowest_position(self):
+        path, width = 4, 2
+        perm = InterleavePermutation(path, width, "reverse")
+        oldest_only = pack_elements([0, 0, 0, 1], width)
+        newest_only = pack_elements([1, 0, 0, 0], width)
+        assert perm.apply(oldest_only) < perm.apply(newest_only)
+
+    def test_straight_gives_newest_element_lowest_position(self):
+        path, width = 4, 2
+        perm = InterleavePermutation(path, width, "straight")
+        oldest_only = pack_elements([0, 0, 0, 1], width)
+        newest_only = pack_elements([1, 0, 0, 0], width)
+        assert perm.apply(newest_only) < perm.apply(oldest_only)
+
+    def test_bijective_small_exhaustive(self):
+        perm = InterleavePermutation(3, 2, "pingpong")
+        images = {perm.apply(value) for value in range(1 << 6)}
+        assert len(images) == 1 << 6
+        assert max(images) < 1 << 6
+
+    def test_invert_roundtrip(self):
+        perm = InterleavePermutation(4, 5, "reverse")
+        for value in (0, 1, 0xABCDE, mask(20), 0x12345):
+            assert perm.invert(perm.apply(value)) == value
+
+    def test_wide_elements_skip_lookup_tables(self):
+        # Widths above the table limit use the bit-loop fallback.
+        perm = InterleavePermutation(2, 16, "straight")
+        assert perm._tables is None
+        value = 0xDEAD_BEEF & mask(32)
+        assert perm.invert(perm.apply(value)) == value
+
+    def test_rejects_bad_scheme(self):
+        with pytest.raises(ConfigError):
+            InterleavePermutation(4, 2, "none")
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigError):
+            InterleavePermutation(4, 0, "straight")
+
+
+def test_address_bits_constant():
+    assert ADDRESS_BITS == 32

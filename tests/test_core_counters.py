@@ -1,0 +1,76 @@
+"""Unit tests for repro.core.counters — saturating counters."""
+
+import pytest
+
+from repro.core.counters import (
+    SaturatingCounter,
+    saturating_decrement,
+    saturating_increment,
+)
+from repro.errors import ConfigError
+
+
+class TestSaturatingCounter:
+    def test_starts_at_initial(self):
+        assert SaturatingCounter(2).value == 0
+        assert SaturatingCounter(2, initial=3).value == 3
+
+    def test_increment_saturates(self):
+        counter = SaturatingCounter(2)
+        for _ in range(10):
+            counter.increment()
+        assert counter.value == 3
+        assert counter.is_saturated_high
+
+    def test_decrement_saturates_at_zero(self):
+        counter = SaturatingCounter(2, initial=1)
+        counter.decrement()
+        counter.decrement()
+        assert counter.value == 0
+        assert counter.is_saturated_low
+
+    def test_record_maps_correctness_to_direction(self):
+        counter = SaturatingCounter(3, initial=4)
+        counter.record(True)
+        assert counter.value == 5
+        counter.record(False)
+        assert counter.value == 4
+
+    def test_reset(self):
+        counter = SaturatingCounter(2, initial=3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_one_bit_counter(self):
+        counter = SaturatingCounter(1)
+        assert counter.increment() == 1
+        assert counter.increment() == 1
+        assert counter.decrement() == 0
+
+    def test_width_validation(self):
+        with pytest.raises(ConfigError):
+            SaturatingCounter(0)
+
+    def test_initial_validation(self):
+        with pytest.raises(ConfigError):
+            SaturatingCounter(2, initial=4)
+        with pytest.raises(ConfigError):
+            SaturatingCounter(2, initial=-1)
+
+
+class TestFunctionalHelpers:
+    def test_increment_saturates(self):
+        assert saturating_increment(3, 3) == 3
+        assert saturating_increment(2, 3) == 3
+        assert saturating_increment(0, 3) == 1
+
+    def test_decrement_saturates(self):
+        assert saturating_decrement(0) == 0
+        assert saturating_decrement(1) == 0
+        assert saturating_decrement(3) == 2
+
+    def test_helpers_match_class(self):
+        counter = SaturatingCounter(2, initial=2)
+        assert saturating_increment(2, counter.maximum) == counter.increment()
+        counter = SaturatingCounter(2, initial=2)
+        assert saturating_decrement(2) == counter.decrement()

@@ -1,0 +1,124 @@
+"""Unit tests for repro.core.history — history register files."""
+
+import pytest
+
+from repro.core.bits import mask
+from repro.core.history import HistoryRegisterFile
+from repro.errors import ConfigError
+
+
+class TestGlobalHistory:
+    def test_newest_target_in_low_bits(self):
+        history = HistoryRegisterFile(path_length=3, bits_per_target=8, low_bit=0)
+        history.record(0x100, 0xAA)
+        history.record(0x100, 0xBB)
+        pattern = history.pattern_for(0x100)
+        assert pattern & 0xFF == 0xBB
+        assert (pattern >> 8) & 0xFF == 0xAA
+
+    def test_pattern_bounded_by_path_length(self):
+        history = HistoryRegisterFile(path_length=2, bits_per_target=4, low_bit=0)
+        for target in (0x1, 0x2, 0x3, 0x4):
+            history.record(0, target)
+        assert history.pattern_for(0) == (0x3 << 4) | 0x4
+
+    def test_all_branches_share_one_register(self):
+        history = HistoryRegisterFile(path_length=2, sharing_shift=31,
+                                      bits_per_target=4, low_bit=0)
+        history.record(0x1000, 0x5)
+        history.record(0xFFF0, 0x6)
+        assert history.pattern_for(0x1000) == history.pattern_for(0x2000)
+        assert history.register_count == 1
+
+    def test_zero_path_length_always_empty(self):
+        history = HistoryRegisterFile(path_length=0)
+        history.record(0, 0x1234)
+        assert history.pattern_for(0) == 0
+
+
+class TestPerSetHistory:
+    def test_per_branch_histories_are_independent(self):
+        history = HistoryRegisterFile(path_length=2, sharing_shift=2,
+                                      bits_per_target=4, low_bit=0)
+        history.record(0x1000, 0x5)
+        history.record(0x2000, 0x6)
+        assert history.pattern_for(0x1000) == 0x5
+        assert history.pattern_for(0x2000) == 0x6
+        assert history.register_count == 2
+
+    def test_region_sharing(self):
+        # s=8: branches within a 256-byte region share a register.
+        history = HistoryRegisterFile(path_length=1, sharing_shift=8,
+                                      bits_per_target=4, low_bit=0)
+        history.record(0x1000, 0x5)
+        assert history.pattern_for(0x10FC) == 0x5    # same 256-byte region
+        assert history.pattern_for(0x1100) == 0      # next region
+
+    def test_unseen_register_reads_zero(self):
+        history = HistoryRegisterFile(path_length=2, sharing_shift=2,
+                                      bits_per_target=4, low_bit=0)
+        assert history.pattern_for(0xABC0) == 0
+
+
+class TestCompression:
+    def test_select_takes_low_bits_from_given_position(self):
+        history = HistoryRegisterFile(path_length=1, bits_per_target=4, low_bit=2)
+        history.record(0, 0b1011_0100)
+        assert history.pattern_for(0) == 0b1101
+
+    def test_full_precision(self):
+        history = HistoryRegisterFile(path_length=1, bits_per_target=32, low_bit=0)
+        history.record(0, 0xDEADBEEC)
+        assert history.pattern_for(0) == 0xDEADBEEC
+
+    def test_fold_compression(self):
+        history = HistoryRegisterFile(path_length=1, bits_per_target=8,
+                                      compression="fold")
+        history.record(0, 0xAB_CD_EF_10)
+        assert history.pattern_for(0) == 0xAB ^ 0xCD ^ 0xEF ^ 0x10
+
+    def test_shift_xor_smears_full_target(self):
+        history = HistoryRegisterFile(path_length=2, bits_per_target=8,
+                                      compression="shift_xor")
+        history.record(0, 0x1FF)
+        # The full target is XORed in, so bits above the element width of
+        # the most recent slot can be set.
+        assert history.pattern_for(0) == 0x1FF & mask(16)
+
+    def test_unknown_compression_rejected(self):
+        with pytest.raises(ConfigError):
+            HistoryRegisterFile(1, compression="huffman")
+
+    def test_select_range_must_fit_address(self):
+        with pytest.raises(ConfigError):
+            HistoryRegisterFile(1, bits_per_target=32, low_bit=2)
+
+
+class TestReset:
+    def test_reset_clears_registers(self):
+        history = HistoryRegisterFile(path_length=2, sharing_shift=2,
+                                      bits_per_target=4, low_bit=0)
+        history.record(0x1000, 0x5)
+        history.reset()
+        assert history.pattern_for(0x1000) == 0
+        assert history.register_count == 0 or history.register_count == 1
+
+    def test_reset_clears_global_register(self):
+        history = HistoryRegisterFile(path_length=2, bits_per_target=4, low_bit=0)
+        history.record(0, 0x5)
+        history.reset()
+        assert history.pattern_for(0) == 0
+
+
+class TestValidation:
+    def test_negative_path_rejected(self):
+        with pytest.raises(ConfigError):
+            HistoryRegisterFile(-1)
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(ConfigError):
+            HistoryRegisterFile(1, sharing_shift=40)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigError):
+            HistoryRegisterFile(1, bits_per_target=0)

@@ -1,0 +1,167 @@
+"""Unit and behavioural tests for hybrid predictors and metapredictors."""
+
+import pytest
+
+from repro.core import (
+    BPSTMetapredictor,
+    ConfidenceMetapredictor,
+    Entry,
+    HybridConfig,
+    HybridPredictor,
+    TwoLevelConfig,
+    default_run_trace,
+)
+from repro.errors import ConfigError
+
+
+def dual(path_a=1, path_b=4, entries=256, assoc=4, meta="confidence"):
+    return HybridConfig.dual_path(path_a, path_b, entries, assoc, metapredictor=meta)
+
+
+class TestConfidenceMetapredictor:
+    def test_highest_confidence_wins(self):
+        meta = ConfidenceMetapredictor()
+        low, high = Entry(0xA), Entry(0xB)
+        low.confidence, high.confidence = 1, 3
+        assert meta.select([low, high]) == 1
+
+    def test_ties_break_toward_first_component(self):
+        meta = ConfidenceMetapredictor()
+        first, second = Entry(0xA), Entry(0xB)
+        first.confidence = second.confidence = 2
+        assert meta.select([first, second]) == 0
+
+    def test_missing_entry_never_wins(self):
+        meta = ConfidenceMetapredictor()
+        entry = Entry(0xA)
+        entry.confidence = 0
+        assert meta.select([None, entry]) == 1
+
+    def test_all_missing_returns_none(self):
+        assert ConfidenceMetapredictor().select([None, None]) is None
+
+
+class TestBPSTMetapredictor:
+    def test_starts_selecting_component_zero(self):
+        assert BPSTMetapredictor().select(0x1000) == 0
+
+    def test_moves_toward_sole_correct_component(self):
+        meta = BPSTMetapredictor(bits=2)
+        for _ in range(2):
+            meta.record(0x1000, component0_correct=False, component1_correct=True)
+        assert meta.select(0x1000) == 1
+
+    def test_agreement_does_not_move_counter(self):
+        meta = BPSTMetapredictor(bits=2)
+        meta.record(0x1000, True, True)
+        meta.record(0x1000, False, False)
+        assert meta.select(0x1000) == 0
+
+    def test_counters_are_per_branch(self):
+        meta = BPSTMetapredictor(bits=1)
+        meta.record(0x1000, False, True)
+        assert meta.select(0x1000) == 1
+        assert meta.select(0x2000) == 0
+
+    def test_limited_size_aliases_branches(self):
+        meta = BPSTMetapredictor(bits=1, num_entries=1)
+        meta.record(0x1000, False, True)
+        assert meta.select(0x9999_0) == 1  # everything shares one counter
+
+    def test_reset(self):
+        meta = BPSTMetapredictor(bits=1)
+        meta.record(0x1000, False, True)
+        meta.reset()
+        assert meta.select(0x1000) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BPSTMetapredictor(bits=0)
+        with pytest.raises(ConfigError):
+            BPSTMetapredictor(num_entries=3)
+
+
+class TestHybridConfig:
+    def test_dual_path_builds_two_components(self):
+        config = dual(1, 5)
+        assert [c.path_length for c in config.components] == [1, 5]
+        assert config.label.startswith("hybrid(p=1.5")
+
+    def test_needs_two_components(self):
+        with pytest.raises(ConfigError):
+            HybridConfig(components=(TwoLevelConfig(),))
+
+    def test_bpst_requires_exactly_two(self):
+        triple = (TwoLevelConfig(path_length=1), TwoLevelConfig(path_length=2),
+                  TwoLevelConfig(path_length=3))
+        with pytest.raises(ConfigError):
+            HybridConfig(components=triple, metapredictor="bpst")
+        HybridConfig(components=triple)  # confidence meta allows 3
+
+    def test_unknown_metapredictor_rejected(self):
+        with pytest.raises(ConfigError):
+            dual(meta="oracle")
+
+
+class TestHybridBehaviour:
+    def test_combines_short_and_long_strengths(self):
+        # Interleave an easy period-2 site with a long-period site: the
+        # hybrid should roughly match the better component on each.
+        pcs, targets = [], []
+        block = [0xA000] * 5 + [0xB000] * 5
+        for index in range(600):
+            pcs.append(0x1000)
+            targets.append(0x2000 if index % 2 == 0 else 0x3000)
+            pcs.append(0x1004)
+            targets.append(block[index % len(block)])
+        from repro.core import TwoLevelPredictor
+
+        short = TwoLevelPredictor(TwoLevelConfig.practical(1, 1024, 4))
+        long_ = TwoLevelPredictor(TwoLevelConfig.practical(8, 1024, 4))
+        hybrid = HybridPredictor(dual(1, 8, 1024))
+        short_misses = short.run_trace(pcs, targets)
+        long_misses = long_.run_trace(pcs, targets)
+        hybrid_misses = hybrid.run_trace(pcs, targets)
+        assert hybrid_misses <= min(short_misses, long_misses) * 1.3 + 20
+
+    def test_run_trace_matches_stepwise_confidence(self, small_trace):
+        bulk = HybridPredictor(dual())
+        stepwise = HybridPredictor(dual())
+        assert bulk.run_trace(small_trace.pcs, small_trace.targets) == (
+            default_run_trace(stepwise, small_trace.pcs, small_trace.targets)
+        )
+
+    def test_run_trace_matches_stepwise_bpst(self, small_trace):
+        bulk = HybridPredictor(dual(meta="bpst"))
+        stepwise = HybridPredictor(dual(meta="bpst"))
+        assert bulk.run_trace(small_trace.pcs, small_trace.targets) == (
+            default_run_trace(stepwise, small_trace.pcs, small_trace.targets)
+        )
+
+    def test_reset_restores_cold_state(self, small_trace):
+        hybrid = HybridPredictor(dual())
+        first = hybrid.run_trace(small_trace.pcs, small_trace.targets)
+        hybrid.reset()
+        assert hybrid.run_trace(small_trace.pcs, small_trace.targets) == first
+
+    def test_three_component_hybrid_runs(self, small_trace):
+        components = tuple(
+            TwoLevelConfig.practical(p, 256, 4) for p in (1, 3, 7)
+        )
+        hybrid = HybridPredictor(HybridConfig(components=components))
+        misses = hybrid.run_trace(small_trace.pcs, small_trace.targets)
+        assert 0 <= misses <= len(small_trace)
+
+    def test_hybrid_beats_components_on_suite(self, tiny_runner):
+        single_short = TwoLevelConfig.practical(1, 512, 4)
+        single_long = TwoLevelConfig.practical(6, 512, 4)
+        hybrid = dual(1, 6, 512)
+        names = tiny_runner.benchmarks
+        hybrid_avg = tiny_runner.average(hybrid, names)
+        best_single = min(
+            tiny_runner.average(single_short, names),
+            tiny_runner.average(single_long, names),
+        )
+        # Same component size: the hybrid has twice the storage, so it
+        # should at least roughly match the better component.
+        assert hybrid_avg <= best_single * 1.1

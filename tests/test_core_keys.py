@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.keys — lookup key assembly."""
+
+import pytest
+
+from repro.core.keys import KeyBuilder, xor_fold_address
+from repro.errors import ConfigError
+
+
+class TestAddressModes:
+    def test_concat_places_address_above_pattern(self):
+        builder = KeyBuilder(path_length=2, bits_per_target=4,
+                             address_mode="concat", table_sharing=2)
+        key = builder.key(0x1000, 0xAB)
+        assert key == ((0x1000 >> 2) << 8) | 0xAB
+
+    def test_xor_folds_address_into_pattern(self):
+        builder = KeyBuilder(path_length=2, bits_per_target=4,
+                             address_mode="xor", table_sharing=2)
+        key = builder.key(0x1000, 0xAB)
+        assert key == (0x1000 >> 2) ^ 0xAB
+
+    def test_none_uses_pattern_only(self):
+        builder = KeyBuilder(path_length=2, bits_per_target=4,
+                             address_mode="none")
+        assert builder.key(0x1234, 0xAB) == 0xAB
+        assert builder.key(0x9999, 0xAB) == 0xAB
+
+    def test_global_table_sharing_drops_address(self):
+        # h=31 means one shared table: the address contributes nothing.
+        builder = KeyBuilder(path_length=2, bits_per_target=4,
+                             address_mode="concat", table_sharing=31)
+        assert builder.key(0x1000, 0xAB) == builder.key(0xF000, 0xAB) == 0xAB
+
+    def test_table_sharing_granularity(self):
+        # h=8: branches in a 256-byte region share a table.
+        builder = KeyBuilder(path_length=0, bits_per_target=4,
+                             address_mode="concat", table_sharing=8)
+        assert builder.key(0x1000, 0) == builder.key(0x10FC, 0)
+        assert builder.key(0x1000, 0) != builder.key(0x1100, 0)
+
+
+class TestZeroPath:
+    def test_btb_degenerate_key_is_address(self):
+        builder = KeyBuilder(path_length=0, bits_per_target=8,
+                             address_mode="concat", table_sharing=2)
+        assert builder.key(0x1000, 0) == 0x1000 >> 2
+
+
+class TestInterleaving:
+    def test_single_element_is_identity(self):
+        plain = KeyBuilder(2, 4, "none", interleave="none")
+        # path 1: interleave has nothing to reorder
+        interleaved = KeyBuilder(1, 8, "none", interleave="reverse")
+        assert interleaved.key(0, 0xAB) == 0xAB
+        del plain
+
+    def test_interleaved_key_differs_from_concatenated(self):
+        plain = KeyBuilder(4, 4, "none", interleave="none")
+        interleaved = KeyBuilder(4, 4, "none", interleave="reverse")
+        pattern = 0x1234
+        assert plain.key(0, pattern) == pattern
+        assert interleaved.key(0, pattern) != pattern
+
+    def test_interleaving_spreads_old_target_into_index(self):
+        # The Figure 13 scenario: paths t2t1 and t3t1 share the most recent
+        # target.  With concatenation, the low (index) bits are equal; with
+        # interleaving, they differ.
+        index_bits = 4
+        concat = KeyBuilder(2, 12, "none", interleave="none")
+        interleave = KeyBuilder(2, 12, "none", interleave="reverse")
+        t1 = 0x005
+        path_a = (0x0AA << 12) | t1    # t2 t1
+        path_b = (0x0BB << 12) | t1    # t3 t1
+        assert (concat.key(0, path_a) ^ concat.key(0, path_b)) & (
+            (1 << index_bits) - 1
+        ) == 0
+        assert (interleave.key(0, path_a) ^ interleave.key(0, path_b)) & (
+            (1 << index_bits) - 1
+        ) != 0
+
+
+class TestValidation:
+    def test_unknown_address_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            KeyBuilder(2, 4, "plus")
+
+    def test_negative_path_rejected(self):
+        with pytest.raises(ConfigError):
+            KeyBuilder(-1, 4)
+
+    def test_bad_table_sharing_rejected(self):
+        with pytest.raises(ConfigError):
+            KeyBuilder(2, 4, table_sharing=99)
+
+
+def test_xor_fold_address_uses_bits_2_to_31():
+    assert xor_fold_address(0x0000_0007) == 0x1
+    assert xor_fold_address(0xFFFF_FFFC) == (0xFFFF_FFFC >> 2)

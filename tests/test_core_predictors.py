@@ -1,0 +1,196 @@
+"""Behavioural tests for the BTB and two-level predictors on crafted traces.
+
+These tests encode the paper's mechanism-level claims as executable facts:
+what each predictor family can and cannot learn.
+"""
+
+import pytest
+
+from repro.core import (
+    BranchTargetBuffer,
+    BTBConfig,
+    TwoLevelConfig,
+    TwoLevelPredictor,
+    default_run_trace,
+)
+
+
+def alternating(pc, targets, repetitions):
+    """A trace cycling through ``targets`` at one branch site."""
+    pcs, outs = [], []
+    for index in range(repetitions * len(targets)):
+        pcs.append(pc)
+        outs.append(targets[index % len(targets)])
+    return pcs, outs
+
+
+class TestBTBBehaviour:
+    def test_monomorphic_branch_only_cold_miss(self):
+        btb = BranchTargetBuffer()
+        pcs, targets = alternating(0x1000, [0x2000], 100)
+        assert btb.run_trace(pcs, targets) == 1
+
+    def test_alternating_branch_defeats_always_update(self):
+        btb = BranchTargetBuffer(BTBConfig(update_rule="always"))
+        pcs, targets = alternating(0x1000, [0x2000, 0x3000], 100)
+        assert btb.run_trace(pcs, targets) == 200
+
+    def test_2bc_locks_onto_one_target_of_period_two(self):
+        btb = BranchTargetBuffer(BTBConfig(update_rule="2bc"))
+        pcs, targets = alternating(0x1000, [0x2000, 0x3000], 100)
+        # 2bc never accumulates two consecutive misses on the same stored
+        # target here, so it locks onto the first target: one cold miss
+        # plus every visit of the other target.
+        assert btb.run_trace(pcs, targets) == 101
+
+    def test_2bc_beats_always_on_excursions(self):
+        pcs, targets = [], []
+        for index in range(300):
+            pcs.append(0x1000)
+            targets.append(0x3000 if index % 10 == 9 else 0x2000)
+        always = BranchTargetBuffer(BTBConfig(update_rule="always"))
+        hysteresis = BranchTargetBuffer(BTBConfig(update_rule="2bc"))
+        always_misses = always.run_trace(pcs, targets)
+        hysteresis_misses = hysteresis.run_trace(pcs, targets)
+        assert hysteresis_misses < always_misses
+
+    def test_distinct_branches_do_not_interfere(self):
+        btb = BranchTargetBuffer()
+        pcs = [0x1000, 0x2000] * 50
+        targets = [0xA000, 0xB000] * 50
+        assert btb.run_trace(pcs, targets) == 2  # one cold miss each
+
+    def test_constrained_btb_capacity_misses(self):
+        btb = BranchTargetBuffer(BTBConfig(num_entries=4, associativity="full"))
+        # 8 monomorphic branches thrash a 4-entry BTB round-robin.
+        pcs = [0x1000 + 4 * branch for branch in range(8)] * 20
+        targets = [0x8000 + 4 * branch for branch in range(8)] * 20
+        misses = btb.run_trace(pcs, targets)
+        assert misses == len(pcs)  # LRU round-robin: never resident
+
+    def test_reset_restores_cold_state(self):
+        btb = BranchTargetBuffer()
+        pcs, targets = alternating(0x1000, [0x2000], 10)
+        assert btb.run_trace(pcs, targets) == 1
+        btb.reset()
+        assert btb.run_trace(pcs, targets) == 1
+
+    def test_predict_update_matches_run_trace(self):
+        pcs, targets = alternating(0x1000, [0x2000, 0x3000, 0x4000], 30)
+        bulk = BranchTargetBuffer()
+        stepwise = BranchTargetBuffer()
+        assert bulk.run_trace(pcs, targets) == default_run_trace(
+            stepwise, pcs, targets
+        )
+
+
+class TestTwoLevelBehaviour:
+    def test_learns_period_two_alternation(self):
+        predictor = TwoLevelPredictor(TwoLevelConfig.unconstrained(1))
+        pcs, targets = alternating(0x1000, [0x2000, 0x3000], 200)
+        # After warm-up, the previous target identifies the next exactly.
+        assert predictor.run_trace(pcs, targets) <= 4
+
+    def test_learns_cycle_up_to_path_length(self):
+        cycle = [0x2000, 0x3000, 0x4000, 0x5000]
+        pcs, targets = alternating(0x1000, cycle, 100)
+        short = TwoLevelPredictor(TwoLevelConfig.unconstrained(1))
+        assert short.run_trace(pcs, targets) <= 8  # p=1 suffices: distinct targets
+
+    def test_cannot_disambiguate_runs_longer_than_path(self):
+        # Runs of 6 equal targets followed by a switch: with p=2 the
+        # mid-run pattern is identical at every position, so the exit is
+        # inherently ambiguous and costs a recurring miss.
+        block = [0xA000] * 6 + [0xB000] * 6
+        pcs, targets = alternating(0x1000, block, 60)
+        predictor = TwoLevelPredictor(TwoLevelConfig.unconstrained(2))
+        misses = predictor.run_trace(pcs, targets)
+        assert misses >= 100  # ~2 ambiguous exits per 12-event block
+
+    def test_long_path_resolves_long_runs(self):
+        block = [0xA000] * 6 + [0xB000] * 6
+        pcs, targets = alternating(0x1000, block, 60)
+        long_predictor = TwoLevelPredictor(TwoLevelConfig.unconstrained(8))
+        short_predictor = TwoLevelPredictor(TwoLevelConfig.unconstrained(2))
+        assert long_predictor.run_trace(pcs, targets) < short_predictor.run_trace(
+            pcs, targets
+        )
+
+    def test_global_history_correlates_across_branches(self):
+        # Branch B's target equals branch A's previous target: only a
+        # global history can see it.
+        pcs, targets = [], []
+        sequence = [0x2000, 0x3000]
+        for index in range(200):
+            value = sequence[index % 2]
+            pcs.extend([0x1000, 0x1004])
+            targets.extend([value, value + 0x1000])
+        global_history = TwoLevelPredictor(
+            TwoLevelConfig.unconstrained(1, history_sharing=31)
+        )
+        per_branch = TwoLevelPredictor(
+            TwoLevelConfig.unconstrained(1, history_sharing=2)
+        )
+        assert global_history.run_trace(pcs, targets) <= per_branch.run_trace(
+            pcs, targets
+        )
+
+    def test_p0_behaves_like_btb(self):
+        pcs, targets = alternating(0x1000, [0x2000, 0x3000], 50)
+        p0 = TwoLevelPredictor(TwoLevelConfig.unconstrained(0))
+        btb = BranchTargetBuffer(BTBConfig(update_rule="2bc"))
+        assert p0.run_trace(pcs, targets) == btb.run_trace(pcs, targets)
+
+    def test_shared_table_interference(self):
+        # Two branches that both execute after the same predecessor target
+        # have identical history patterns; with a globally shared table
+        # (h=31) they thrash one entry, with per-branch tables they do not.
+        pcs, targets = [], []
+        for _ in range(200):
+            pcs.extend([0x3000, 0x1000, 0x3000, 0x2000])
+            targets.extend([0x7000, 0xA000, 0x7000, 0xB000])
+        per_branch = TwoLevelPredictor(TwoLevelConfig.unconstrained(1, table_sharing=2))
+        shared = TwoLevelPredictor(TwoLevelConfig.unconstrained(1, table_sharing=31))
+        assert per_branch.run_trace(pcs, targets) < shared.run_trace(pcs, targets)
+
+    def test_run_trace_equals_stepwise(self, small_trace):
+        config = TwoLevelConfig.practical(3, 256, 2)
+        bulk = TwoLevelPredictor(config)
+        stepwise = TwoLevelPredictor(config)
+        assert bulk.run_trace(small_trace.pcs, small_trace.targets) == (
+            default_run_trace(stepwise, small_trace.pcs, small_trace.targets)
+        )
+
+    def test_reset_restores_cold_state(self, small_trace):
+        predictor = TwoLevelPredictor(TwoLevelConfig.practical(2, 512, 4))
+        first = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        predictor.reset()
+        second = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        assert first == second
+
+    def test_predict_returns_none_when_cold(self):
+        predictor = TwoLevelPredictor(TwoLevelConfig.practical(2, 64, 2))
+        assert predictor.predict(0x1000) is None
+
+
+class TestConstrainedTwoLevel:
+    def test_capacity_hurts_long_paths_more(self, small_trace):
+        small_short = TwoLevelPredictor(TwoLevelConfig.practical(1, 64, "full"))
+        small_long = TwoLevelPredictor(TwoLevelConfig.practical(8, 64, "full"))
+        misses_short = small_short.run_trace(small_trace.pcs, small_trace.targets)
+        misses_long = small_long.run_trace(small_trace.pcs, small_trace.targets)
+        assert misses_long > misses_short
+
+    def test_bigger_table_never_much_worse(self, small_trace):
+        small = TwoLevelPredictor(TwoLevelConfig.practical(3, 128, 4))
+        large = TwoLevelPredictor(TwoLevelConfig.practical(3, 4096, 4))
+        misses_small = small.run_trace(small_trace.pcs, small_trace.targets)
+        misses_large = large.run_trace(small_trace.pcs, small_trace.targets)
+        assert misses_large <= misses_small * 1.05 + 10
+
+    def test_interleaving_beats_concat_on_one_way_tables(self, tiny_runner):
+        concat = TwoLevelConfig.practical(4, 1024, 1, interleave="none")
+        interleaved = TwoLevelConfig.practical(4, 1024, 1, interleave="reverse")
+        assert tiny_runner.average(interleaved, tiny_runner.benchmarks) < (
+            tiny_runner.average(concat, tiny_runner.benchmarks)
+        )

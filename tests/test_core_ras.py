@@ -1,0 +1,71 @@
+"""Unit tests for the return address stack."""
+
+import pytest
+
+from repro.core import ReturnAddressStack
+from repro.errors import ConfigError
+
+
+class TestReturnAddressStack:
+    def test_lifo_order(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.push(0x200)
+        assert ras.pop() == 0x200
+        assert ras.pop() == 0x100
+
+    def test_predict_peeks_without_popping(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        assert ras.predict_return() == 0x100
+        assert len(ras) == 1
+
+    def test_underflow_returns_none(self):
+        ras = ReturnAddressStack(depth=2)
+        assert ras.pop() is None
+        assert ras.predict_return() is None
+
+    def test_overflow_overwrites_oldest(self):
+        ras = ReturnAddressStack(depth=2)
+        ras.push(0x100)
+        ras.push(0x200)
+        ras.push(0x300)             # overwrites 0x100
+        assert ras.pop() == 0x300
+        assert ras.pop() == 0x200
+        assert ras.pop() is None
+
+    def test_depth_zero_never_predicts(self):
+        ras = ReturnAddressStack(depth=0)
+        ras.push(0x100)
+        assert ras.pop() is None
+
+    def test_reset(self):
+        ras = ReturnAddressStack(depth=4)
+        ras.push(0x100)
+        ras.reset()
+        assert len(ras) == 0
+        assert ras.pop() is None
+
+    def test_matched_call_return_nesting_predicts_perfectly(self):
+        # The paper's justification for excluding returns: nested call/
+        # return pairs are perfectly predicted by a deep-enough RAS.
+        ras = ReturnAddressStack(depth=16)
+        correct = 0
+        total = 0
+
+        def call(depth, return_address):
+            nonlocal correct, total
+            ras.push(return_address)
+            if depth > 0:
+                call(depth - 1, return_address + 8)
+            total += 1
+            if ras.pop() == return_address:
+                correct += 1
+
+        for start in range(10):
+            call(8, 0x1000 + start * 0x100)
+        assert correct == total
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ConfigError):
+            ReturnAddressStack(depth=-1)

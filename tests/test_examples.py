@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs end-to-end on shrunken traces."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(autouse=True)
+def shrink_traces(monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_SCALE", "0.05")
+
+
+@pytest.mark.parametrize(
+    "name, argv",
+    [
+        ("quickstart", ["quickstart.py"]),
+        ("virtual_call_workload", ["virtual_call_workload.py"]),
+        ("interpreter_dispatch", ["interpreter_dispatch.py"]),
+        ("design_space_exploration", ["design_space_exploration.py", "128"]),
+        ("miss_anatomy", ["miss_anatomy.py", "xlisp"]),
+    ],
+)
+def test_example_runs(name, argv, monkeypatch, capsys):
+    monkeypatch.setattr(sys, "argv", argv)
+    module = load_example(name)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{name} produced no output"
+    assert "%" in output  # every example reports misprediction rates

@@ -1,0 +1,123 @@
+"""Tests for the experiment layer: registry, base machinery, paper data."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ExperimentResult,
+    experiment_ids,
+    get_module,
+    run_experiment,
+)
+from repro.experiments.base import argmin_curve, comparison_table
+from repro.experiments.paper_data import (
+    BENCH_ORDER,
+    FIG2_BTB2BC,
+    FIG9_AVG,
+    TABLE5_CONCAT,
+    TABLE5_XOR,
+    TABLE6,
+    TABLE12,
+    TABLE_A2,
+)
+
+
+class TestPaperData:
+    def test_all_17_benchmarks_in_tables(self):
+        assert len(TABLE12) == 17
+        assert set(FIG2_BTB2BC) == set(TABLE12) == set(BENCH_ORDER)
+
+    def test_fig9_shape_facts(self):
+        # Sanity of the transcription: BTB start, minimum at p=6, rising tail.
+        assert FIG9_AVG[0] == pytest.approx(24.9)
+        assert argmin_curve(FIG9_AVG) == 6
+        assert FIG9_AVG[12] > FIG9_AVG[6]
+
+    def test_table5_xor_close_to_concat(self):
+        for path in TABLE5_XOR:
+            assert abs(TABLE5_XOR[path] - TABLE5_CONCAT[path]) < 1.0
+
+    def test_table6_monotone_in_size(self):
+        rates = [TABLE6[size][4][0] for size in sorted(TABLE6)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_table6_associativity_ordering(self):
+        for size, row in TABLE6.items():
+            if size <= 64:
+                continue
+            assert row[4][0] <= row[2][0] <= row["tagless"][0]
+
+    def test_table_a2_paths_grow_with_size(self):
+        for family, column in TABLE_A2.items():
+            sizes = sorted(column)
+            assert column[sizes[-1]] >= column[sizes[0]], family
+
+
+class TestExperimentResult:
+    def test_render_includes_series_and_notes(self):
+        result = ExperimentResult(
+            experiment_id="x", title="demo", x_label="p",
+            series={"AVG": {1: 2.0, 2: 1.0}},
+            paper_series={"AVG": {1: 2.5, 2: 1.5}},
+            notes="hello",
+        )
+        text = result.render()
+        assert "demo" in text
+        assert "AVG (paper)" in text
+        assert "hello" in text
+        assert "shape[AVG]" in text
+
+    def test_shape_summary_empty_without_paper_curve(self):
+        result = ExperimentResult("x", "t", series={"AVG": {1: 1.0}})
+        assert result.shape_summary("AVG") == {}
+
+    def test_comparison_table_helper(self):
+        text = comparison_table("t", [["a", 1]], ["k", "v"])
+        assert text.startswith("t")
+
+
+class TestRegistry:
+    def test_all_paper_artefacts_registered(self):
+        ids = experiment_ids()
+        for required in ("tables12", "fig2", "fig5", "fig7", "fig9", "fig10",
+                         "table5", "fig11", "fig12_14", "fig15", "fig16",
+                         "fig17", "fig18_table6", "appendix"):
+            assert required in ids
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_module("fig99")
+
+    def test_modules_expose_run(self):
+        for experiment_id in experiment_ids():
+            module = get_module(experiment_id)
+            assert callable(module.run)
+            assert isinstance(module.TITLE, str)
+
+
+class TestExperimentsOnTinySuite:
+    """Run the cheap experiments end-to-end on the reduced suite."""
+
+    def test_fig2_runs_and_orders_2bc(self, tiny_runner):
+        result = run_experiment("fig2", runner=tiny_runner)
+        assert isinstance(result, ExperimentResult)
+        measured = result.series["btb-2bc"]
+        assert set(tiny_runner.benchmarks) <= set(measured)
+        # perl is far more BTB-hostile than jhm in both paper and model.
+        assert measured["perl"] > measured["jhm"]
+
+    def test_tables12_renders_all_benchmarks(self, tiny_runner):
+        result = run_experiment("tables12", runner=tiny_runner)
+        # tables12 characterises whatever benchmarks the runner covers; the
+        # shared-table rendering must mention each of them.
+        assert result.tables
+        for name in tiny_runner.benchmarks:
+            assert name in result.tables[0]
+
+    def test_fig9_minimum_between_1_and_8(self, tiny_runner):
+        result = run_experiment("fig9", runner=tiny_runner)
+        curve = dict(result.series["AVG"])
+        best = argmin_curve(curve)
+        assert 1 <= best <= 8
+        assert curve[0] > curve[best]          # two-level beats BTB
+        assert curve[max(curve)] > curve[best]  # rising tail

@@ -1,0 +1,203 @@
+"""Tests for the section 8.1 extensions and the analysis package."""
+
+import pytest
+
+from repro.analysis import (
+    MachineModel,
+    decompose_misses,
+    estimate_overhead,
+    indirect_dominance_threshold,
+    per_site_breakdown,
+    warmup_split,
+)
+from repro.core import (
+    BTBConfig,
+    NextBranchPredictor,
+    SharedHybridConfig,
+    SharedTableHybridPredictor,
+    TwoLevelConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestSharedHybridConfig:
+    def test_label(self):
+        config = SharedHybridConfig(path_lengths=(1, 5), num_entries=512)
+        assert config.label == "shared-hybrid(p=1.5,4,512)"
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            SharedHybridConfig(path_lengths=(3,))
+        with pytest.raises(ConfigError):
+            SharedHybridConfig(path_lengths=(3, 3))
+        with pytest.raises(ConfigError):
+            SharedHybridConfig(path_lengths=(1, 5), num_entries=500)
+        with pytest.raises(ConfigError):
+            SharedHybridConfig(path_lengths=(1, 5), associativity="tagless")
+
+
+class TestSharedTableHybrid:
+    def test_capacity_respected(self, small_trace):
+        predictor = SharedTableHybridPredictor(
+            SharedHybridConfig(path_lengths=(1, 5), num_entries=64)
+        )
+        predictor.run_trace(small_trace.pcs, small_trace.targets)
+        assert predictor.stored_entries() <= 64
+
+    def test_learns_alternation(self, alternating_trace):
+        predictor = SharedTableHybridPredictor(
+            SharedHybridConfig(path_lengths=(1, 4), num_entries=256)
+        )
+        misses = predictor.run_trace(alternating_trace.pcs,
+                                     alternating_trace.targets)
+        assert misses < len(alternating_trace) * 0.05
+
+    def test_reset(self, small_trace):
+        predictor = SharedTableHybridPredictor(
+            SharedHybridConfig(path_lengths=(1, 5), num_entries=256)
+        )
+        first = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        predictor.reset()
+        assert predictor.run_trace(small_trace.pcs, small_trace.targets) == first
+
+    def test_competitive_with_split_hybrid(self, small_trace):
+        from repro.core import HybridConfig, HybridPredictor
+
+        shared = SharedTableHybridPredictor(
+            SharedHybridConfig(path_lengths=(1, 5), num_entries=512)
+        )
+        split = HybridPredictor(HybridConfig.dual_path(1, 5, 256, 4))
+        shared_misses = shared.run_trace(small_trace.pcs, small_trace.targets)
+        split_misses = split.run_trace(small_trace.pcs, small_trace.targets)
+        # The shared table should be in the same league at equal budget.
+        assert shared_misses <= split_misses * 1.5 + 20
+
+
+class TestNextBranchPredictor:
+    def test_learns_chain_on_regular_stream(self):
+        pcs, targets = [], []
+        for index in range(600):
+            pcs.append(0x1000 + 4 * (index % 3))
+            targets.append(0x2000 + 4 * (index % 3))
+        predictor = NextBranchPredictor(2)
+        report = predictor.run_trace(pcs, targets)
+        assert report.target_miss_rate < 5
+        assert report.next_pc_miss_rate < 5
+        assert report.chain_rate > 90
+
+    def test_chain_rate_bounded_by_target_hits(self, small_trace):
+        predictor = NextBranchPredictor(3)
+        report = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        assert 0 <= report.chain_rate <= 100
+        assert report.chained_hits <= report.events - report.target_misses
+
+    def test_reset(self, small_trace):
+        predictor = NextBranchPredictor(3)
+        first = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        predictor.reset()
+        second = predictor.run_trace(small_trace.pcs, small_trace.targets)
+        assert first == second
+
+    def test_predict_cold_is_none(self):
+        predictor = NextBranchPredictor(2)
+        assert predictor.predict(0x1000) == (None, None)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            NextBranchPredictor(-1)
+
+
+class TestMissBreakdown:
+    def test_components_sum_to_total(self, small_trace):
+        breakdown = decompose_misses(
+            TwoLevelConfig.practical(3, 128, 2), small_trace
+        )
+        assert breakdown.intrinsic + breakdown.capacity + breakdown.conflict == (
+            breakdown.total
+        )
+        assert breakdown.total_rate == pytest.approx(
+            sum(v for k, v in breakdown.as_rates().items() if k != "total"),
+            abs=1e-9,
+        )
+
+    def test_capacity_nonnegative(self, small_trace):
+        breakdown = decompose_misses(
+            TwoLevelConfig.practical(3, 64, "full"), small_trace
+        )
+        assert breakdown.capacity >= 0
+
+    def test_requires_constrained_config(self, small_trace):
+        with pytest.raises(ConfigError):
+            decompose_misses(TwoLevelConfig.unconstrained(3), small_trace)
+
+    def test_str_mentions_components(self, small_trace):
+        breakdown = decompose_misses(
+            TwoLevelConfig.practical(2, 128, 2), small_trace
+        )
+        assert "capacity" in str(breakdown)
+
+
+class TestPerSiteBreakdown:
+    def test_counts_cover_trace(self, small_trace):
+        reports = per_site_breakdown(BTBConfig(), small_trace)
+        assert sum(report.executions for report in reports) == len(small_trace)
+        assert all(report.misses <= report.executions for report in reports)
+
+    def test_sorted_by_misses(self, small_trace):
+        reports = per_site_breakdown(BTBConfig(), small_trace)
+        misses = [report.miss_rate * report.executions for report in reports]
+        assert all(
+            reports[i].misses >= reports[i + 1].misses
+            for i in range(len(reports) - 1)
+        )
+        del misses
+
+    def test_top_limits_output(self, small_trace):
+        assert len(per_site_breakdown(BTBConfig(), small_trace, top=3)) == 3
+
+
+class TestWarmupSplit:
+    def test_steady_state_not_worse_than_warmup(self, small_trace):
+        warm, steady = warmup_split(
+            TwoLevelConfig.practical(2, 1024, 4), small_trace
+        )
+        assert steady <= warm + 2.0   # learning mostly happens early
+
+    def test_fraction_validated(self, small_trace):
+        with pytest.raises(ConfigError):
+            warmup_split(BTBConfig(), small_trace, warmup_fraction=0.0)
+
+
+class TestOverheadModel:
+    def test_paper_dominance_example(self):
+        # Section 1: 36% vs 3% miss rates -> threshold of 12 conditionals
+        # per indirect branch.
+        assert indirect_dominance_threshold(36.0, 3.0) == pytest.approx(12.0)
+
+    def test_overhead_scales_with_miss_rate(self, small_trace):
+        low = estimate_overhead(small_trace, 5.0)
+        high = estimate_overhead(small_trace, 25.0)
+        assert high.indirect_cpi_overhead == pytest.approx(
+            5 * low.indirect_cpi_overhead
+        )
+
+    def test_slowdown_ratio(self, small_trace):
+        btb = estimate_overhead(small_trace, 25.0)
+        good = estimate_overhead(small_trace, 5.0)
+        assert btb.slowdown_versus(good) > 1.0
+
+    def test_indirect_share_for_oo_ratio(self, small_trace):
+        # small_trace has ~15 conditionals per indirect: with 25% vs 3%
+        # rates, indirect misses should be a sizeable share of overhead.
+        report = estimate_overhead(small_trace, 25.0)
+        assert report.indirect_share > 0.3
+
+    def test_machine_model_validation(self):
+        with pytest.raises(ConfigError):
+            MachineModel(misprediction_penalty=0)
+        with pytest.raises(ConfigError):
+            MachineModel(conditional_miss_rate=150.0)
+
+    def test_bad_miss_rate_rejected(self, small_trace):
+        with pytest.raises(ConfigError):
+            estimate_overhead(small_trace, 120.0)

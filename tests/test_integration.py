@@ -1,0 +1,97 @@
+"""Integration tests: end-to-end reproduction facts on real suite traces.
+
+These encode the paper's headline *qualitative* claims over the reduced
+shared runner, so a regression in any layer (workloads, predictors,
+engine) that breaks a claim fails loudly.
+"""
+
+import pytest
+
+from repro.core import BTBConfig, HybridConfig, TwoLevelConfig
+from repro.sim import simulate
+from repro.core import build_predictor
+
+
+@pytest.fixture(scope="module")
+def rates(tiny_runner):
+    """Misprediction rates for the key configurations on the tiny suite."""
+    names = tiny_runner.benchmarks
+    def avg(config):
+        return tiny_runner.average(config, names)
+    return {
+        "btb": avg(BTBConfig()),
+        "twolevel_p3_unconstrained": avg(TwoLevelConfig.unconstrained(3)),
+        "twolevel_p3_1k4": avg(TwoLevelConfig.practical(3, 1024, 4)),
+        "twolevel_p3_1k_tagless": avg(TwoLevelConfig.practical(3, 1024, "tagless")),
+        "twolevel_p3_64_4": avg(TwoLevelConfig.practical(3, 64, 4)),
+        "hybrid_1k4": avg(HybridConfig.dual_path(3, 1, 512, 4)),
+    }
+
+
+class TestHeadlineClaims:
+    def test_two_level_beats_btb_by_factor_two_plus(self, rates):
+        # The paper's central claim is a >3x improvement on the full suite;
+        # on this three-benchmark slice we require at least 2x.
+        assert rates["twolevel_p3_unconstrained"] * 2 < rates["btb"]
+
+    def test_constrained_close_to_unconstrained_at_1k(self, rates):
+        assert rates["twolevel_p3_1k4"] < rates["btb"] / 2
+
+    def test_associativity_beats_tagless_at_equal_size(self, rates):
+        assert rates["twolevel_p3_1k4"] <= rates["twolevel_p3_1k_tagless"]
+
+    def test_capacity_misses_hurt_small_tables(self, rates):
+        assert rates["twolevel_p3_64_4"] > rates["twolevel_p3_1k4"]
+
+    def test_hybrid_competitive_with_equal_total_size(self, rates):
+        assert rates["hybrid_1k4"] <= rates["twolevel_p3_1k4"] * 1.15
+
+
+class TestPerBenchmarkCharacter:
+    """Each benchmark keeps its calibrated personality."""
+
+    def test_perl_is_btb_hostile_but_learnable(self, tiny_runner):
+        btb = tiny_runner.result(BTBConfig(), "perl").misprediction_rate
+        two_level = tiny_runner.result(
+            TwoLevelConfig.unconstrained(4), "perl"
+        ).misprediction_rate
+        assert btb > 20
+        assert two_level < btb / 4
+
+    def test_jhm_floor_is_high(self, tiny_runner):
+        two_level = tiny_runner.result(
+            TwoLevelConfig.unconstrained(3), "jhm"
+        ).misprediction_rate
+        assert two_level > 5  # noisy dispatch: no predictor gets jhm cheap
+
+    def test_ixx_alternation_pattern(self, tiny_runner):
+        btb = tiny_runner.result(BTBConfig(), "ixx").misprediction_rate
+        two_level = tiny_runner.result(
+            TwoLevelConfig.unconstrained(3), "ixx"
+        ).misprediction_rate
+        assert btb > 25
+        assert two_level < btb / 2
+
+
+class TestCrossLayerConsistency:
+    def test_engine_and_runner_agree(self, tiny_runner):
+        config = TwoLevelConfig.practical(2, 256, 2)
+        via_runner = tiny_runner.result(config, "perl")
+        direct = simulate(build_predictor(config), tiny_runner.trace("perl"))
+        assert via_runner.mispredictions == direct.mispredictions
+
+    def test_trace_regeneration_is_stable(self, tiny_runner):
+        from repro.workloads import generate_trace, workload_config
+
+        fresh = generate_trace(workload_config("perl", tiny_runner.scale))
+        cached = tiny_runner.trace("perl")
+        assert list(fresh.pcs) == list(cached.pcs)
+        assert list(fresh.targets) == list(cached.targets)
+
+    def test_context_switch_costs_warmup(self, tiny_runner):
+        # Simulating cold vs chained: warm state must help or equal.
+        trace = tiny_runner.trace("perl")
+        predictor = build_predictor(TwoLevelConfig.practical(3, 1024, 4))
+        cold = simulate(predictor, trace).mispredictions
+        warm = simulate(predictor, trace, reset=False).mispredictions
+        assert warm <= cold

@@ -1,0 +1,76 @@
+"""Tests for the scaling and context-switch extension experiments."""
+
+import pytest
+
+from repro.experiments import experiment_ids, run_experiment
+from repro.experiments.context_switch import _flushed_miss_rate
+from repro.core import BTBConfig, TwoLevelConfig
+
+
+class TestRegistration:
+    def test_new_experiments_registered(self):
+        ids = experiment_ids()
+        assert "scaling" in ids
+        assert "context_switch" in ids
+
+
+class TestFlushedSimulation:
+    def test_no_quantum_matches_plain_run(self, tiny_runner):
+        trace = tiny_runner.trace("perl")
+        config = TwoLevelConfig.practical(2, 512, 4)
+        plain = tiny_runner.result(config, "perl").misprediction_rate
+        assert _flushed_miss_rate(config, trace, None) == pytest.approx(plain)
+
+    def test_flushing_never_helps_two_level(self, tiny_runner):
+        trace = tiny_runner.trace("perl")
+        config = TwoLevelConfig.practical(3, 1024, 4)
+        unflushed = _flushed_miss_rate(config, trace, None)
+        flushed = _flushed_miss_rate(config, trace, 1000)
+        assert flushed >= unflushed
+
+    def test_smaller_quantum_hurts_more(self, tiny_runner):
+        trace = tiny_runner.trace("ixx")
+        config = TwoLevelConfig.practical(3, 1024, 4)
+        harsh = _flushed_miss_rate(config, trace, 500)
+        mild = _flushed_miss_rate(config, trace, 4000)
+        assert harsh >= mild
+
+    def test_btb_degrades_less_than_long_path(self, tiny_runner):
+        trace = tiny_runner.trace("perl")
+        quantum = 1000
+
+        def degradation(config):
+            return _flushed_miss_rate(config, trace, quantum) - (
+                _flushed_miss_rate(config, trace, None)
+            )
+
+        assert degradation(BTBConfig()) <= degradation(
+            TwoLevelConfig.practical(6, 1024, 4)
+        ) + 0.5
+
+
+class TestContextSwitchExperiment:
+    def test_runs_on_tiny_suite(self, tiny_runner):
+        result = run_experiment("context_switch", runner=tiny_runner)
+        assert "btb" in result.series
+        curve = result.series["twolevel p=6"]
+        # Flushing every 2000 events must not beat uninterrupted execution.
+        assert curve[2000] >= curve[float("inf")] - 0.1
+
+
+class TestScalingExperiment:
+    def test_longer_traces_do_not_worsen_long_paths(self):
+        # Run the scaling ablation on a minimal slice and check the core
+        # direction: at larger scale, the p=12 tail height (relative to the
+        # best point) must not grow.
+        from repro.sim import SuiteRunner
+        from repro.experiments import scaling
+
+        result = scaling.run(
+            runner=SuiteRunner(benchmarks=("perl",), scale=0.25), quick=True
+        )
+        small = result.series["scale=0.25"]
+        large = result.series["scale=4.0"]
+        small_tail = small[12] - min(small.values())
+        large_tail = large[12] - min(large.values())
+        assert large_tail <= small_tail + 0.5

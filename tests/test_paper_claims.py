@@ -1,0 +1,130 @@
+"""Executable paper claims: the evaluation's key orderings as assertions.
+
+These run on a medium-sized five-benchmark slice (one per behaviour
+regime) so the whole file stays under a minute while still catching any
+regression that would flip a headline result of the reproduction.
+"""
+
+import pytest
+
+from repro.core import BTBConfig, HybridConfig, TwoLevelConfig
+from repro.sim import SuiteRunner
+
+BENCHMARKS = ("perl", "ixx", "jhm", "xlisp", "gcc")
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return SuiteRunner(benchmarks=BENCHMARKS, scale=0.4)
+
+
+def avg(runner, config):
+    return runner.average(config, BENCHMARKS)
+
+
+class TestSection3Claims:
+    def test_two_level_beats_btb_threefold(self, runner):
+        btb = avg(runner, BTBConfig())
+        best = min(
+            avg(runner, TwoLevelConfig.unconstrained(p)) for p in (2, 3, 4)
+        )
+        assert best * 3 < btb
+
+    def test_2bc_beats_always_for_btb(self, runner):
+        assert avg(runner, BTBConfig(update_rule="2bc")) < avg(
+            runner, BTBConfig(update_rule="always")
+        )
+
+    def test_global_history_beats_per_branch(self, runner):
+        global_history = avg(runner, TwoLevelConfig.unconstrained(6))
+        per_branch = avg(
+            runner, TwoLevelConfig.unconstrained(6, history_sharing=2)
+        )
+        assert global_history < per_branch
+
+    def test_per_branch_tables_beat_shared(self, runner):
+        per_branch = avg(runner, TwoLevelConfig.unconstrained(6))
+        shared = avg(runner, TwoLevelConfig.unconstrained(6, table_sharing=31))
+        assert per_branch <= shared
+
+    def test_rising_tail_at_long_paths(self, runner):
+        best = min(avg(runner, TwoLevelConfig.unconstrained(p)) for p in (2, 3))
+        long_path = avg(runner, TwoLevelConfig.unconstrained(14))
+        assert long_path > best
+
+
+class TestSection4Claims:
+    def test_eight_bits_match_full_precision(self, runner):
+        full = avg(
+            runner,
+            TwoLevelConfig(path_length=3, precision="full",
+                           address_mode="concat", interleave="none"),
+        )
+        eight = avg(
+            runner,
+            TwoLevelConfig(path_length=3, precision=8, pattern_budget=24,
+                           address_mode="concat", interleave="none"),
+        )
+        assert abs(full - eight) < 0.5
+
+    def test_xor_fold_is_nearly_free(self, runner):
+        concat = avg(
+            runner,
+            TwoLevelConfig(path_length=4, address_mode="concat",
+                           interleave="none"),
+        )
+        xor = avg(
+            runner,
+            TwoLevelConfig(path_length=4, address_mode="xor",
+                           interleave="none"),
+        )
+        assert abs(xor - concat) < 0.5
+
+
+class TestSection5Claims:
+    def test_figure13_anomaly_and_its_fix(self, runner):
+        def rate(path, interleave):
+            return avg(
+                runner,
+                TwoLevelConfig.practical(path, 4096, 1, interleave=interleave),
+            )
+
+        concat_jump = rate(2, "none") - rate(1, "none")
+        interleaved_jump = rate(2, "reverse") - rate(1, "reverse")
+        assert concat_jump > 3.0          # the saw-tooth anomaly
+        assert interleaved_jump < concat_jump / 2
+
+    def test_associativity_ordering(self, runner):
+        rates = {
+            ways: avg(runner, TwoLevelConfig.practical(3, 1024, ways))
+            for ways in (1, 2, 4)
+        }
+        assert rates[4] <= rates[2] <= rates[1]
+
+    def test_capacity_misses_shrink_with_size(self, runner):
+        small = avg(runner, TwoLevelConfig.practical(3, 128, "full"))
+        large = avg(runner, TwoLevelConfig.practical(3, 8192, "full"))
+        assert large < small
+
+    def test_tagless_positive_interference_at_long_paths(self, runner):
+        tagless = avg(runner, TwoLevelConfig.practical(10, 4096, "tagless",
+                                                       interleave="none"))
+        four_way = avg(runner, TwoLevelConfig.practical(10, 4096, 4,
+                                                        interleave="none"))
+        assert tagless < four_way
+
+
+class TestSection6Claims:
+    def test_hybrid_beats_equal_size_non_hybrid(self, runner):
+        hybrid = avg(runner, HybridConfig.dual_path(1, 5, 1024, 4))
+        non_hybrid = min(
+            avg(runner, TwoLevelConfig.practical(p, 2048, 4)) for p in (2, 3)
+        )
+        assert hybrid < non_hybrid * 1.05
+
+    def test_short_long_beats_diagonal(self, runner):
+        short_long = avg(runner, HybridConfig.dual_path(1, 5, 1024, 4))
+        diagonal = avg(runner, TwoLevelConfig.practical(3, 2048, 4))
+        # The off-diagonal pairing should match or beat a double-size
+        # single predictor (Figure 17's diagonal comparison).
+        assert short_long <= diagonal * 1.05

@@ -1,0 +1,223 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import TwoLevelConfig, TwoLevelPredictor, build_predictor
+from repro.core.bits import (
+    InterleavePermutation,
+    bits_per_element,
+    fold_xor,
+    mask,
+    pack_elements,
+    unpack_elements,
+)
+from repro.core.counters import SaturatingCounter
+from repro.core.tables import (
+    FullyAssociativeTable,
+    SetAssociativeTable,
+    TaglessTable,
+    UnconstrainedTable,
+)
+from repro.workloads import Trace, TraceMetadata, WorkloadConfig, generate_trace
+
+addresses = st.integers(min_value=0, max_value=(1 << 32) - 4).map(lambda a: a & ~3)
+
+
+# -- bits --------------------------------------------------------------------
+
+@given(st.integers(0, (1 << 32) - 1), st.integers(1, 24))
+def test_fold_xor_stays_within_width(value, width):
+    assert 0 <= fold_xor(value, width) <= mask(width)
+
+
+@given(st.integers(1, 24))
+def test_bits_per_element_budget_invariant(path):
+    width = bits_per_element(path)
+    assert width >= 1
+    assert width * path <= 24
+    assert (width + 1) * path > 24
+
+
+@given(
+    st.lists(st.integers(0, 255), min_size=1, max_size=8),
+    st.integers(1, 8),
+)
+def test_pack_unpack_roundtrip(elements, width):
+    masked = [element & mask(width) for element in elements]
+    packed = pack_elements(masked, width)
+    assert list(unpack_elements(packed, len(masked), width)) == masked
+
+
+@given(
+    st.integers(2, 8),
+    st.integers(1, 8),
+    st.sampled_from(["straight", "reverse", "pingpong"]),
+    st.data(),
+)
+def test_interleave_is_a_bijection(path, width, scheme, data):
+    perm = InterleavePermutation(path, width, scheme)
+    value = data.draw(st.integers(0, mask(path * width)))
+    other = data.draw(st.integers(0, mask(path * width)))
+    assert perm.invert(perm.apply(value)) == value
+    assert perm.apply(value) <= mask(path * width)
+    if value != other:
+        assert perm.apply(value) != perm.apply(other)
+
+
+# -- counters ----------------------------------------------------------------
+
+@given(st.integers(1, 6), st.lists(st.booleans(), max_size=60))
+def test_saturating_counter_stays_in_range(bits, outcomes):
+    counter = SaturatingCounter(bits)
+    for outcome in outcomes:
+        counter.record(outcome)
+        assert 0 <= counter.value <= counter.maximum
+
+
+# -- tables ------------------------------------------------------------------
+
+table_ops = st.lists(
+    st.tuples(st.integers(0, 63), st.integers(0, 7).map(lambda t: 0x1000 + 4 * t)),
+    max_size=200,
+)
+
+
+@given(table_ops)
+def test_fully_associative_never_exceeds_capacity(operations):
+    table = FullyAssociativeTable(8)
+    for key, target in operations:
+        table.commit(key, target)
+        assert len(table) <= 8
+
+
+@given(table_ops, st.sampled_from([1, 2, 4]))
+def test_set_associative_never_exceeds_capacity(operations, ways):
+    table = SetAssociativeTable(16, ways)
+    for key, target in operations:
+        table.commit(key, target)
+        assert len(table) <= 16
+
+
+@given(table_ops)
+def test_tagless_probe_never_raises_and_len_bounded(operations):
+    table = TaglessTable(8)
+    for key, target in operations:
+        table.commit(key, target)
+        entry = table.probe(key)
+        assert entry is not None
+        assert len(table) <= 8
+
+
+@given(table_ops)
+def test_committed_key_immediately_probeable_in_tagged_tables(operations):
+    for table in (UnconstrainedTable(), FullyAssociativeTable(256),
+                  SetAssociativeTable(256, 4)):
+        for key, target in operations:
+            table.commit(key, target)
+            assert table.probe(key) is not None
+
+
+@given(table_ops)
+def test_2bc_entry_target_changes_only_after_double_miss(operations):
+    table = UnconstrainedTable(update_rule="2bc")
+    previous_state = {}
+    for key, target in operations:
+        before = table.probe(key)
+        snapshot = (before.target, before.miss_bit) if before else None
+        table.commit(key, target)
+        after = table.probe(key)
+        if snapshot is not None and snapshot[0] != target:
+            if snapshot[1] == 0:
+                assert after.target == snapshot[0]   # first miss: kept
+            else:
+                assert after.target == target        # second miss: replaced
+        previous_state[key] = (after.target, after.miss_bit)
+
+
+# -- predictors ---------------------------------------------------------------
+
+@given(
+    st.lists(st.tuples(addresses, addresses), min_size=1, max_size=300),
+    st.integers(0, 6),
+)
+@settings(max_examples=25, deadline=None)
+def test_misses_bounded_by_events(events, path):
+    pcs = [pc for pc, _ in events]
+    targets = [target for _, target in events]
+    predictor = TwoLevelPredictor(TwoLevelConfig.practical(path, 256, 4))
+    misses = predictor.run_trace(pcs, targets)
+    assert 0 <= misses <= len(events)
+
+
+@given(st.lists(st.tuples(addresses, addresses), min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_fully_associative_equals_set_assoc_with_full_ways(events):
+    pcs = [pc for pc, _ in events]
+    targets = [target for _, target in events]
+    full = TwoLevelPredictor(TwoLevelConfig.practical(2, 64, "full"))
+    max_ways = TwoLevelPredictor(TwoLevelConfig.practical(2, 64, 64))
+    assert full.run_trace(pcs, targets) == max_ways.run_trace(pcs, targets)
+
+
+@given(st.lists(st.tuples(addresses, addresses), min_size=1, max_size=200))
+@settings(max_examples=25, deadline=None)
+def test_unconstrained_at_least_as_good_as_constrained(events):
+    pcs = [pc for pc, _ in events]
+    targets = [target for _, target in events]
+    unconstrained = TwoLevelPredictor(
+        TwoLevelConfig(path_length=2, num_entries=None, associativity="full",
+                       interleave="none")
+    )
+    constrained = TwoLevelPredictor(
+        TwoLevelConfig(path_length=2, num_entries=32, associativity="full",
+                       interleave="none")
+    )
+    assert unconstrained.run_trace(pcs, targets) <= constrained.run_trace(
+        pcs, targets
+    )
+
+
+@given(st.lists(st.tuples(addresses, addresses), min_size=1, max_size=150))
+@settings(max_examples=20, deadline=None)
+def test_deterministic_replay(events):
+    pcs = [pc for pc, _ in events]
+    targets = [target for _, target in events]
+    config = TwoLevelConfig.practical(3, 128, 2)
+    first = build_predictor(config).run_trace(pcs, targets)
+    second = build_predictor(config).run_trace(pcs, targets)
+    assert first == second
+
+
+# -- workloads ----------------------------------------------------------------
+
+@given(st.integers(0, 2**31 - 1), st.integers(200, 800))
+@settings(max_examples=10, deadline=None)
+def test_generated_traces_are_valid_and_deterministic(seed, events):
+    config = WorkloadConfig(name="prop", events=events, seed=seed)
+    first = generate_trace(config)
+    second = generate_trace(config)
+    assert len(first) == events
+    assert list(first.pcs) == list(second.pcs)
+    assert list(first.targets) == list(second.targets)
+    for pc, target in first:
+        assert pc % 4 == 0 and target % 4 == 0
+        assert 0 <= pc < (1 << 32) and 0 <= target < (1 << 32)
+
+
+@given(st.lists(st.tuples(addresses, addresses), min_size=1, max_size=100))
+@settings(max_examples=20, deadline=None)
+def test_trace_roundtrip_through_binary_format(events):
+    import os
+    import tempfile
+
+    from repro.workloads import load_trace, save_trace
+
+    trace = Trace.from_events(events, TraceMetadata(name="prop"))
+    handle, path = tempfile.mkstemp(suffix=".bin")
+    os.close(handle)
+    try:
+        save_trace(trace, path)
+        assert list(load_trace(path)) == events
+    finally:
+        os.unlink(path)

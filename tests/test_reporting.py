@@ -1,0 +1,64 @@
+"""Tests for table/series rendering and shape summaries."""
+
+import pytest
+
+from repro.sim.reporting import (
+    format_comparison,
+    format_series,
+    format_table,
+    percent,
+    summarize_shape,
+)
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]],
+                            title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1]
+        assert "1.50" in text
+        assert "20" in text
+
+    def test_none_rendered_as_dash(self):
+        text = format_table(["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_rows_wider_than_headers(self):
+        text = format_table(["x"], [["a", "extra"]])
+        assert "extra" in text
+
+
+class TestFormatSeries:
+    def test_union_of_x_values(self):
+        text = format_series("p", {"a": {1: 1.0, 2: 2.0}, "b": {2: 3.0, 3: 4.0}})
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3  # header + rule + three x rows
+        assert "3.00" in text
+
+    def test_comparison_pairs_paper_and_measured(self):
+        text = format_comparison("p", {1: 10.0}, {1: 11.0})
+        assert "paper" in text and "measured" in text
+
+
+class TestShapeSummary:
+    def test_perfect_rank_agreement(self):
+        paper = {1: 10.0, 2: 5.0, 3: 7.0}
+        measured = {1: 20.0, 2: 11.0, 3: 15.0}
+        summary = summarize_shape(paper, measured)
+        assert summary["rank_correlation"] == pytest.approx(1.0)
+        assert summary["paper_argmin"] == summary["measured_argmin"] == 2
+
+    def test_inverted_curves(self):
+        paper = {1: 1.0, 2: 2.0, 3: 3.0}
+        measured = {1: 3.0, 2: 2.0, 3: 1.0}
+        summary = summarize_shape(paper, measured)
+        assert summary["rank_correlation"] == pytest.approx(-1.0)
+
+    def test_insufficient_overlap(self):
+        assert summarize_shape({1: 1.0}, {2: 2.0}) == {"shared_points": 0}
+
+
+def test_percent_formatting():
+    assert percent(12.345) == "12.35%"

@@ -1,0 +1,177 @@
+"""Tests for the simulation engine, group averaging, runner, and sweeps."""
+
+import pytest
+
+from repro.core import BTBConfig, TwoLevelConfig, build_predictor
+from repro.errors import SimulationError
+from repro.sim import (
+    SimulationResult,
+    SuiteRunner,
+    group_average,
+    simulate,
+    sweep,
+    with_group_averages,
+)
+from repro.sim.sweep import grid
+from repro.workloads import Trace, TraceMetadata
+
+
+class TestSimulationResult:
+    def test_rates(self):
+        result = SimulationResult("b", "p", events=200, mispredictions=50)
+        assert result.misprediction_rate == pytest.approx(25.0)
+        assert result.hit_rate == pytest.approx(75.0)
+
+    def test_zero_events(self):
+        result = SimulationResult("b", "p", events=0, mispredictions=0)
+        assert result.misprediction_rate == 0.0
+
+    def test_inconsistent_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationResult("b", "p", events=10, mispredictions=11)
+
+    def test_str_mentions_rate(self):
+        assert "25.00%" in str(SimulationResult("b", "p", 200, 50))
+
+
+class TestSimulate:
+    def test_counts_cold_misses(self, alternating_trace):
+        result = simulate(build_predictor(BTBConfig(update_rule="always")),
+                          alternating_trace)
+        assert result.mispredictions == len(alternating_trace)
+        assert result.benchmark == "alternating"
+
+    def test_two_level_learns_alternation(self, alternating_trace):
+        result = simulate(
+            build_predictor(TwoLevelConfig.unconstrained(1)), alternating_trace
+        )
+        assert result.misprediction_rate < 1.0
+
+    def test_reset_false_chains_state(self, alternating_trace):
+        predictor = build_predictor(TwoLevelConfig.unconstrained(1))
+        cold = simulate(predictor, alternating_trace)
+        warm = simulate(predictor, alternating_trace, reset=False)
+        assert warm.mispredictions < cold.mispredictions
+
+    def test_label_defaults_to_config_label(self, alternating_trace):
+        result = simulate(build_predictor(BTBConfig()), alternating_trace)
+        assert result.predictor == "btb-2bc(inf)"
+        labelled = simulate(
+            build_predictor(BTBConfig()), alternating_trace, label="mine"
+        )
+        assert labelled.predictor == "mine"
+
+
+class TestGroupAveraging:
+    def test_arithmetic_mean(self):
+        rates = {"a": 10.0, "b": 20.0}
+        assert group_average(rates, ["a", "b"]) == pytest.approx(15.0)
+
+    def test_missing_member_rejected(self):
+        with pytest.raises(SimulationError):
+            group_average({"a": 1.0}, ["a", "b"])
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(SimulationError):
+            group_average({}, [])
+
+    def test_with_group_averages_skips_incomplete_groups(self):
+        rates = {"perl": 5.0, "ixx": 10.0}
+        augmented = with_group_averages(rates, groups={"pair": ["perl", "ixx"],
+                                                       "all": ["perl", "gcc"]})
+        assert augmented["pair"] == pytest.approx(7.5)
+        assert "all" not in augmented
+
+    def test_default_groups_computed_when_possible(self):
+        from repro.workloads import GROUPS
+
+        rates = {name: 1.0 for name in GROUPS["AVG-C"]}
+        augmented = with_group_averages(rates)
+        assert augmented["AVG-C"] == pytest.approx(1.0)
+        assert "AVG" not in augmented
+
+
+class TestSuiteRunner:
+    def test_trace_caching(self, tiny_runner):
+        assert tiny_runner.trace("perl") is tiny_runner.trace("perl")
+
+    def test_result_memoisation(self, tiny_runner):
+        config = BTBConfig()
+        before = tiny_runner.cached_simulations()
+        first = tiny_runner.result(config, "perl")
+        mid = tiny_runner.cached_simulations()
+        second = tiny_runner.result(config, "perl")
+        assert first is second
+        assert tiny_runner.cached_simulations() == mid > before - 1
+
+    def test_rates_cover_requested_benchmarks(self, tiny_runner):
+        rates = tiny_runner.rates(BTBConfig())
+        assert set(rates) == set(tiny_runner.benchmarks)
+        assert all(0 <= value <= 100 for value in rates.values())
+
+    def test_average_over_subset(self, tiny_runner):
+        average = tiny_runner.average(BTBConfig(), tiny_runner.benchmarks)
+        rates = tiny_runner.rates(BTBConfig())
+        assert average == pytest.approx(sum(rates.values()) / len(rates))
+
+    def test_best_picks_minimum(self, tiny_runner):
+        configs = [TwoLevelConfig.practical(p, 512, 4) for p in (0, 2)]
+        best, rate = tiny_runner.best(configs, tiny_runner.benchmarks)
+        assert best in configs
+        assert rate == min(
+            tiny_runner.average(config, tiny_runner.benchmarks)
+            for config in configs
+        )
+
+    def test_best_requires_candidates(self, tiny_runner):
+        with pytest.raises(ValueError):
+            tiny_runner.best([], tiny_runner.benchmarks)
+
+    def test_scale_shrinks_traces(self):
+        small = SuiteRunner(benchmarks=("perl",), scale=0.1)
+        smaller_trace = small.trace("perl")
+        from repro.workloads import workload_config
+
+        assert len(smaller_trace) == workload_config("perl", 0.1).events
+
+
+class TestSweep:
+    def test_sweep_collects_series(self, tiny_runner):
+        configs = {p: TwoLevelConfig.practical(p, 256, 2) for p in (0, 1, 2)}
+        result = sweep(configs, runner=tiny_runner,
+                       benchmarks=tiny_runner.benchmarks)
+        curve = result.series("perl")
+        assert set(curve) == {0, 1, 2}
+        # Path history must help the highly regular perl benchmark.
+        assert curve[2] < curve[0]
+
+    def test_best_point(self, tiny_runner):
+        configs = {p: TwoLevelConfig.practical(p, 256, 2) for p in (0, 2)}
+        result = sweep(configs, runner=tiny_runner,
+                       benchmarks=tiny_runner.benchmarks)
+        point, value = result.best_point("perl")
+        assert point == 2
+        assert value == result.series("perl")[2]
+
+    def test_best_point_unknown_series_rejected(self, tiny_runner):
+        configs = {0: BTBConfig()}
+        result = sweep(configs, runner=tiny_runner,
+                       benchmarks=tiny_runner.benchmarks)
+        with pytest.raises(KeyError):
+            result.best_point("nope")
+
+    def test_progress_callback(self, tiny_runner):
+        seen = []
+        sweep({0: BTBConfig()}, runner=tiny_runner,
+              benchmarks=tiny_runner.benchmarks, progress=seen.append)
+        assert seen == [0]
+
+    def test_names_lists_benchmarks_and_groups(self, tiny_runner):
+        result = sweep({0: BTBConfig()}, runner=tiny_runner,
+                       benchmarks=tiny_runner.benchmarks)
+        assert "perl" in result.names()
+
+    def test_grid_builds_cartesian_product(self):
+        configs = grid((1, 2), (3, 4),
+                       lambda a, b: TwoLevelConfig.practical(a, 256, b and 2))
+        assert set(configs) == {(1, 3), (1, 4), (2, 3), (2, 4)}

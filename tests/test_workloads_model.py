@@ -1,0 +1,256 @@
+"""Unit tests for the program-model building blocks.
+
+Covers the RNG helpers, the type universe, branch-site models, and the
+phase/loop machinery.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    AddressSpace,
+    CategoricalSampler,
+    PhaseSchedule,
+    TypeUniverse,
+    derive_rng,
+    geometric_length,
+    zipf_weights,
+)
+from repro.workloads.sites import (
+    FunctionPointerSite,
+    MonomorphicSite,
+    SwitchSite,
+    VirtualCallSite,
+    make_site,
+)
+
+
+class TestRngHelpers:
+    def test_derive_rng_is_deterministic(self):
+        assert derive_rng(1, "a", 2).random() == derive_rng(1, "a", 2).random()
+
+    def test_derive_rng_scopes_are_independent(self):
+        assert derive_rng(1, "a").random() != derive_rng(1, "b").random()
+
+    def test_zipf_weights_normalised_and_decreasing(self):
+        weights = zipf_weights(10, 1.3)
+        assert sum(weights) == pytest.approx(1.0)
+        assert all(a > b for a, b in zip(weights, weights[1:]))
+
+    def test_zipf_exponent_zero_is_uniform(self):
+        weights = zipf_weights(4, 0.0)
+        assert all(w == pytest.approx(0.25) for w in weights)
+
+    def test_geometric_length_respects_bounds(self):
+        rng = random.Random(1)
+        lengths = [geometric_length(rng, 4.0, 2, 8) for _ in range(500)]
+        assert min(lengths) >= 2
+        assert max(lengths) <= 8
+        assert 2.5 < sum(lengths) / len(lengths) < 5.5
+
+    def test_categorical_sampler_distribution(self):
+        rng = random.Random(2)
+        sampler = CategoricalSampler(rng, [0.9, 0.1], [7, 9])
+        draws = [sampler.sample() for _ in range(2000)]
+        assert draws.count(7) > 1500
+        assert set(draws) <= {7, 9}
+
+    def test_categorical_sampler_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigError):
+            CategoricalSampler(rng, [])
+        with pytest.raises(ConfigError):
+            CategoricalSampler(rng, [0.0, 0.0])
+        with pytest.raises(ConfigError):
+            CategoricalSampler(rng, [1.0], [1, 2])
+
+
+class TestAddressSpace:
+    def test_allocations_are_word_aligned_and_increasing(self):
+        space = AddressSpace(random.Random(0), size=1 << 16)
+        addresses = [space.allocate(64) for _ in range(100)]
+        assert all(address % 4 == 0 for address in addresses)
+        assert addresses == sorted(addresses)
+
+    def test_random_address_within_segment(self):
+        space = AddressSpace(random.Random(0), size=1 << 12)
+        for _ in range(100):
+            address = space.random_address()
+            assert space.base <= address < space.limit
+            assert address % 4 == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AddressSpace(random.Random(0), size=0)
+        with pytest.raises(ConfigError):
+            AddressSpace(random.Random(0), base=2)
+
+
+class TestTypeUniverse:
+    def make(self, override=0.5, classes=10, slots=20):
+        rng = random.Random(42)
+        space = AddressSpace(random.Random(1), size=1 << 18)
+        return TypeUniverse(rng, space, classes, slots, override)
+
+    def test_method_addresses_deterministic_per_class_slot(self):
+        universe = self.make()
+        assert universe.method_address(3, 5) == universe.method_address(3, 5)
+
+    def test_zero_override_means_monomorphic_slots(self):
+        universe = self.make(override=0.0)
+        for slot in range(universe.num_slots):
+            assert universe.slot_polymorphism(slot) == 1
+
+    def test_full_override_means_megamorphic_slots(self):
+        universe = self.make(override=1.0)
+        for slot in range(universe.num_slots):
+            assert universe.slot_polymorphism(slot) == universe.num_classes
+
+    def test_arity_histogram_counts_all_slots(self):
+        universe = self.make()
+        assert sum(universe.arity_histogram().values()) == universe.num_slots
+
+    def test_validation(self):
+        rng = random.Random(0)
+        space = AddressSpace(random.Random(1))
+        with pytest.raises(ConfigError):
+            TypeUniverse(rng, space, 0, 4)
+        with pytest.raises(ConfigError):
+            TypeUniverse(rng, space, 4, 4, override_prob=1.5)
+
+
+class TestSites:
+    def universe(self):
+        return TypeUniverse(
+            random.Random(0), AddressSpace(random.Random(1)), 8, 16, 0.7
+        )
+
+    def test_virtual_site_dispatches_on_class(self):
+        universe = self.universe()
+        site = VirtualCallSite(0x1000, universe, slot=3)
+        assert site.resolve(2) == universe.method_address(2, 3)
+        assert site.is_virtual
+
+    def test_virtual_site_rejects_bad_slot(self):
+        with pytest.raises(ConfigError):
+            VirtualCallSite(0x1000, self.universe(), slot=99)
+
+    def test_switch_home_case_is_stable(self):
+        site = SwitchSite(0x1000, [0x10, 0x20, 0x30], seed=5, noise=0.0)
+        first = site.resolve(1)
+        assert all(site.resolve(1) == first for _ in range(20))
+
+    def test_switch_alternate_differs_from_home(self):
+        site = SwitchSite(0x1000, [0x10, 0x20, 0x30], seed=5, noise=0.0)
+        home, alternate = site.cases_for(1)
+        assert home != alternate
+
+    def test_switch_noise_rate(self):
+        site = SwitchSite(0x1000, [0x10, 0x20], seed=5, noise=0.3)
+        home, _ = site.cases_for(0)
+        outcomes = [site.resolve(0) for _ in range(3000)]
+        excursions = sum(1 for value in outcomes if value != site.case_targets[home])
+        assert 0.2 < excursions / len(outcomes) < 0.4
+
+    def test_single_case_switch_never_deviates(self):
+        site = SwitchSite(0x1000, [0x10], seed=5, noise=1.0)
+        assert all(site.resolve(0) == 0x10 for _ in range(10))
+
+    def test_mono_site_fixed_target(self):
+        site = MonomorphicSite(0x1000, 0x42 * 4)
+        assert site.resolve(0) == site.resolve(7) == 0x42 * 4
+
+    def test_unaligned_pc_rejected(self):
+        with pytest.raises(ConfigError):
+            MonomorphicSite(0x1001, 0x4)
+
+    def test_make_site_dispatch(self):
+        universe = self.universe()
+        rng = random.Random(3)
+        pool = [4 * value for value in range(100, 140)]
+        assert make_site("virtual", 0x10, rng, universe, pool, 1, 8, 4, 0.1).kind == "virtual"
+        assert make_site("switch", 0x14, rng, universe, pool, 1, 8, 4, 0.1).kind == "switch"
+        assert isinstance(
+            make_site("fnptr", 0x18, rng, universe, pool, 1, 8, 4, 0.1),
+            FunctionPointerSite,
+        )
+        assert make_site("mono", 0x1C, rng, universe, pool, 1, 8, 4, 0.1).kind == "mono"
+        with pytest.raises(ConfigError):
+            make_site("computed-goto", 0x20, rng, universe, pool, 1, 8, 4, 0.1)
+
+
+class TestPhases:
+    def schedule(self, **overrides):
+        params = dict(
+            seed=9, total_classes=12, active_classes=6, phase_length=100,
+            carryover=0.5, class_zipf=1.2, loop_count=3, loop_segments=4,
+            repeat_prob=0.4, stable_run_mean=4.0,
+        )
+        params.update(overrides)
+        return PhaseSchedule(**params)
+
+    def test_phase_lookup_by_item(self):
+        schedule = self.schedule()
+        assert schedule.phase_for_item(0).index == 0
+        assert schedule.phase_for_item(99).index == 0
+        assert schedule.phase_for_item(100).index == 1
+
+    def test_phases_are_deterministic(self):
+        first = self.schedule().phase(3)
+        second = self.schedule().phase(3)
+        assert first.classes == second.classes
+        assert first.loops == second.loops
+
+    def test_active_class_count(self):
+        phase = self.schedule().phase(0)
+        assert len(phase.classes) == 6
+        assert len(set(phase.classes)) == 6
+
+    def test_carryover_keeps_some_classes(self):
+        schedule = self.schedule(carryover=0.5)
+        previous = set(schedule.phase(0).classes)
+        current = set(schedule.phase(1).classes)
+        assert previous & current           # some kept
+        assert current - previous           # some fresh
+
+    def test_zero_carryover_allows_full_turnover(self):
+        schedule = self.schedule(carryover=0.0, total_classes=100,
+                                 active_classes=5)
+        previous = set(schedule.phase(0).classes)
+        current = set(schedule.phase(1).classes)
+        assert previous != current or len(previous) == 5
+
+    def test_loops_contain_segment_tuples(self):
+        phase = self.schedule().phase(0)
+        assert len(phase.loops) == 3
+        for loop in phase.loops:
+            assert len(loop) == 4
+            for class_id, run_length, alternate in loop:
+                assert class_id in phase.classes
+                assert run_length >= 1
+                assert alternate in phase.classes
+
+    def test_segment_alternate_differs_from_class(self):
+        phase = self.schedule().phase(0)
+        for loop in phase.loops:
+            for class_id, _run, alternate in loop:
+                assert alternate != class_id
+
+    def test_random_class_maps_uniform_draw(self):
+        phase = self.schedule().phase(0)
+        assert phase.random_class(0.0) == phase.classes[0]
+        assert phase.random_class(0.999) == phase.classes[-1]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            self.schedule(active_classes=0)
+        with pytest.raises(ConfigError):
+            self.schedule(active_classes=13)
+        with pytest.raises(ConfigError):
+            self.schedule(phase_length=0)
+        with pytest.raises(ConfigError):
+            self.schedule(repeat_prob=1.0)
+        with pytest.raises(ConfigError):
+            self.schedule(stable_run_mean=0.5)

@@ -1,0 +1,213 @@
+"""Tests for the synthetic program generator and the benchmark suite."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.workloads import (
+    BENCHMARKS,
+    GROUPS,
+    SyntheticProgram,
+    WorkloadConfig,
+    benchmark_names,
+    generate_trace,
+    get_benchmark,
+    group_members,
+    override_benchmark,
+    workload_config,
+)
+from repro.workloads.program import quantile_weights
+from repro.workloads.stats import (
+    active_site_quantiles,
+    characterize,
+    distinct_patterns,
+    polymorphic_fraction,
+)
+
+
+def tiny_config(**overrides):
+    params = dict(name="tiny", events=3000, seed=11)
+    params.update(overrides)
+    return WorkloadConfig(**params)
+
+
+class TestQuantileWeights:
+    def test_weights_sum_to_one(self):
+        weights = quantile_weights(((0.90, 3), (0.95, 5), (0.99, 8), (1.00, 20)))
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 20
+
+    def test_cumulative_passes_through_quantiles(self):
+        quantiles = ((0.90, 3), (0.95, 5), (0.99, 8), (1.00, 20))
+        weights = quantile_weights(quantiles)
+        for fraction, count in quantiles:
+            assert sum(weights[:count]) == pytest.approx(fraction)
+
+    def test_degenerate_repeated_count(self):
+        # go's profile: 2 sites cover both 90% and 95%.
+        weights = quantile_weights(((0.90, 2), (0.95, 2), (0.99, 5), (1.00, 14)))
+        assert sum(weights) == pytest.approx(1.0)
+        assert sum(weights[:2]) >= 0.90
+
+    def test_weights_are_decreasing(self):
+        weights = quantile_weights(((0.90, 4), (0.95, 6), (0.99, 10), (1.00, 15)))
+        assert all(a >= b - 1e-12 for a, b in zip(weights, weights[1:]))
+
+
+class TestWorkloadConfigValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ConfigError):
+            tiny_config(switch_noise=1.5)
+        with pytest.raises(ConfigError):
+            tiny_config(repeat_prob=-0.1)
+
+    def test_rejects_fraction_overflow(self):
+        with pytest.raises(ConfigError):
+            tiny_config(virtual_fraction=0.8, mono_fraction=0.2, fnptr_fraction=0.1)
+
+    def test_rejects_bad_quantiles(self):
+        with pytest.raises(ConfigError):
+            tiny_config(site_quantiles=((0.90, 5), (0.95, 3), (1.00, 10)))
+        with pytest.raises(ConfigError):
+            tiny_config(site_quantiles=((0.90, 5),))
+
+    def test_scaled(self):
+        config = tiny_config()
+        assert config.scaled(2.0).events == 6000
+        assert config.scaled(0.001).events >= 1
+        with pytest.raises(ConfigError):
+            config.scaled(0)
+
+
+class TestGeneration:
+    def test_exact_event_count(self):
+        trace = generate_trace(tiny_config())
+        assert len(trace) == 3000
+
+    def test_deterministic_given_seed(self):
+        first = generate_trace(tiny_config())
+        second = generate_trace(tiny_config())
+        assert list(first.pcs) == list(second.pcs)
+        assert list(first.targets) == list(second.targets)
+
+    def test_different_seeds_differ(self):
+        first = generate_trace(tiny_config(seed=1))
+        second = generate_trace(tiny_config(seed=2))
+        assert list(first.targets) != list(second.targets)
+
+    def test_addresses_word_aligned_and_32bit(self):
+        trace = generate_trace(tiny_config())
+        for pc, target in trace:
+            assert pc % 4 == 0
+            assert 0 <= pc < (1 << 32)
+            assert target % 4 == 0
+            assert 0 <= target < (1 << 32)
+
+    def test_all_sites_appear(self):
+        # The init flow guarantees the 100% quantile: every site executes.
+        config = tiny_config(events=6000)
+        program = SyntheticProgram(config)
+        trace = program.generate()
+        assert trace.distinct_sites() == config.total_sites
+
+    def test_flow_sites_are_distinct_within_flow(self):
+        program = SyntheticProgram(tiny_config())
+        for flow in program.flows:
+            indices = [step.site_index for step in flow]
+            assert len(indices) == len(set(indices))
+
+    def test_metadata_counters(self):
+        config = tiny_config(instructions_per_indirect=80,
+                             conditionals_per_indirect=12)
+        trace = generate_trace(config)
+        assert trace.instructions_per_indirect == pytest.approx(80, rel=0.05)
+        assert trace.conditionals_per_indirect == pytest.approx(12, rel=0.05)
+
+    def test_virtual_fraction_tracks_target(self):
+        config = tiny_config(events=8000, virtual_fraction=0.8,
+                             mono_fraction=0.05, fnptr_fraction=0.05)
+        trace = generate_trace(config)
+        assert trace.virtual_fraction == pytest.approx(0.8, abs=0.12)
+
+    def test_generate_override_event_count(self):
+        program = SyntheticProgram(tiny_config())
+        assert len(program.generate(events=500)) == 500
+
+
+class TestStats:
+    def test_site_quantiles_track_config(self):
+        config = tiny_config(events=12_000,
+                             site_quantiles=((0.90, 4), (0.95, 7),
+                                             (0.99, 15), (1.00, 40)))
+        trace = generate_trace(config)
+        quantiles = active_site_quantiles(trace)
+        assert quantiles[1.00] == 40
+        assert quantiles[0.90] <= 10     # concentrated on a handful of sites
+
+    def test_distinct_patterns_grow_with_path_length(self):
+        trace = generate_trace(tiny_config())
+        counts = [distinct_patterns(trace, p) for p in (0, 1, 2, 4)]
+        assert counts[0] == trace.distinct_sites()
+        assert counts == sorted(counts)
+
+    def test_polymorphic_fraction_bounds(self):
+        trace = generate_trace(tiny_config())
+        assert 0.0 <= polymorphic_fraction(trace) <= 1.0
+
+    def test_characterize_row_shape(self):
+        trace = generate_trace(tiny_config())
+        row = characterize(trace).row()
+        assert row[0] == "tiny"
+        assert len(row) == 9
+
+
+class TestSuite:
+    def test_all_17_benchmarks_present(self):
+        assert len(BENCHMARKS) == 17
+        assert set(benchmark_names()) == set(BENCHMARKS)
+
+    def test_groups_match_paper_table3(self):
+        assert len(GROUPS["AVG"]) == 13
+        assert len(GROUPS["AVG-OO"]) == 9
+        assert len(GROUPS["AVG-C"]) == 4
+        assert len(GROUPS["AVG-100"]) == 6
+        assert len(GROUPS["AVG-200"]) == 7
+        assert len(GROUPS["AVG-infreq"]) == 4
+        assert set(GROUPS["AVG"]) == set(GROUPS["AVG-100"]) | set(GROUPS["AVG-200"])
+
+    def test_group_membership_follows_instruction_ratio(self):
+        for name in GROUPS["AVG-100"]:
+            assert get_benchmark(name).paper_instr_per_indirect < 100
+        for name in GROUPS["AVG-200"]:
+            assert 100 <= get_benchmark(name).paper_instr_per_indirect <= 200
+        for name in GROUPS["AVG-infreq"]:
+            assert get_benchmark(name).paper_instr_per_indirect > 1000
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ConfigError):
+            get_benchmark("doom")
+        with pytest.raises(ConfigError):
+            group_members("AVG-9000")
+
+    def test_workload_config_scale(self):
+        base = workload_config("ixx")
+        scaled = workload_config("ixx", scale=0.5)
+        assert scaled.events == base.events // 2
+
+    def test_scale_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.25")
+        assert workload_config("ixx").events == pytest.approx(
+            workload_config("ixx", scale=4.0).events / 4, abs=2
+        )
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "zero")
+        with pytest.raises(ConfigError):
+            workload_config("ixx")
+
+    def test_override_benchmark(self):
+        spec = override_benchmark("ixx", events=123)
+        assert spec.config.events == 123
+        assert BENCHMARKS["ixx"].config.events != 123
+
+    def test_benchmark_site_profiles_match_paper(self):
+        for name in benchmark_names():
+            spec = get_benchmark(name)
+            assert spec.config.site_quantiles == spec.paper_site_quantiles

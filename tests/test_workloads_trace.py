@@ -1,0 +1,130 @@
+"""Unit tests for the trace data model and serialisation."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.workloads import (
+    Trace,
+    TraceMetadata,
+    concatenate,
+    load_trace,
+    load_trace_text,
+    save_trace,
+    save_trace_text,
+)
+
+
+def make_trace(name="t", events=10):
+    pcs = [0x1000 + 4 * index for index in range(events)]
+    targets = [0x2000 + 8 * index for index in range(events)]
+    metadata = TraceMetadata(
+        name=name, seed=3, instruction_count=events * 50,
+        conditional_count=events * 7, virtual_events=events // 2,
+    )
+    return Trace(pcs, targets, metadata)
+
+
+class TestTrace:
+    def test_length_and_iteration(self):
+        trace = make_trace(events=5)
+        assert len(trace) == 5
+        events = list(trace)
+        assert events[0] == (0x1000, 0x2000)
+        assert events[-1] == (0x1010, 0x2020)
+
+    def test_indexing(self):
+        trace = make_trace()
+        assert trace[2] == (0x1008, 0x2010)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(TraceError):
+            Trace([1, 2], [3], TraceMetadata(name="bad"))
+
+    def test_from_events_validates_addresses(self):
+        with pytest.raises(TraceError):
+            Trace.from_events([(1 << 33, 0)], TraceMetadata(name="bad"))
+
+    def test_characterisation_ratios(self):
+        trace = make_trace(events=10)
+        assert trace.instructions_per_indirect == pytest.approx(50)
+        assert trace.conditionals_per_indirect == pytest.approx(7)
+        assert trace.virtual_fraction == pytest.approx(0.5)
+
+    def test_empty_trace_ratios_are_zero(self):
+        trace = Trace([], [], TraceMetadata(name="empty"))
+        assert trace.instructions_per_indirect == 0.0
+        assert trace.virtual_fraction == 0.0
+
+    def test_site_counts(self):
+        trace = Trace([1 * 4, 1 * 4, 2 * 4], [0, 0, 0], TraceMetadata(name="x"))
+        assert trace.site_counts() == {4: 2, 8: 1}
+        assert trace.distinct_sites() == 2
+
+    def test_slice(self):
+        trace = make_trace(events=10)
+        part = trace.slice(2, 5)
+        assert len(part) == 3
+        assert part[0] == trace[2]
+
+    def test_concatenate(self):
+        combined = concatenate([make_trace("a", 5), make_trace("b", 7)], "ab")
+        assert len(combined) == 12
+        assert combined.metadata.instruction_count == 5 * 50 + 7 * 50
+
+    def test_concatenate_empty_rejected(self):
+        with pytest.raises(TraceError):
+            concatenate([], "nothing")
+
+
+class TestBinaryIO:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(events=100)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert list(loaded) == list(trace)
+        assert loaded.metadata.name == trace.metadata.name
+        assert loaded.metadata.instruction_count == trace.metadata.instruction_count
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"NOTATRACE" * 4)
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+    def test_truncated_file_rejected(self, tmp_path):
+        trace = make_trace(events=100)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(TraceError):
+            load_trace(path)
+
+
+class TestTextIO:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(events=20)
+        path = tmp_path / "trace.txt"
+        save_trace_text(trace, path)
+        loaded = load_trace_text(path, name="roundtrip")
+        assert list(loaded) == list(trace)
+        assert loaded.name == "roundtrip"
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n00001000 00002000\n")
+        loaded = load_trace_text(path)
+        assert list(loaded) == [(0x1000, 0x2000)]
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("00001000\n")
+        with pytest.raises(TraceError):
+            load_trace_text(path)
+
+    def test_bad_hex_rejected(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("zzzz yyyy\n")
+        with pytest.raises(TraceError):
+            load_trace_text(path)

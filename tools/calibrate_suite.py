@@ -1,0 +1,120 @@
+"""Workload-calibration harness.
+
+Iteratively tunes each synthetic benchmark's behavioural knobs so that its
+unconstrained BTB-2bc misprediction rate and its best unconstrained
+two-level rate match the paper's published per-benchmark values (Table
+A-1).  The converged knob values are frozen into
+``src/repro/workloads/suite.py``; re-run this tool after structural changes
+to the workload model.
+
+Usage::
+
+    python tools/calibrate_suite.py
+"""
+
+import json
+from dataclasses import replace
+from repro import BTBConfig, TwoLevelConfig, build_predictor, simulate
+from repro.workloads import BENCHMARKS
+from repro.workloads.program import generate_trace
+
+TARGETS = {
+    'idl': (2.40, 0.42), 'jhm': (11.13, 8.75), 'self': (15.68, 10.16),
+    'troff': (13.70, 7.15), 'lcom': (4.25, 1.39), 'porky': (20.80, 4.61),
+    'ixx': (45.70, 5.58), 'eqn': (34.78, 12.52), 'beta': (28.57, 2.20),
+    'xlisp': (13.51, 1.37), 'perl': (31.80, 0.45), 'edg': (35.91, 11.86),
+    'gcc': (65.70, 11.71), 'm88ksim': (76.41, 3.07), 'vortex': (20.19, 9.89),
+    'ijpeg': (1.26, 0.62), 'go': (29.25, 22.82),
+}
+LOW_FLOOR = ('idl', 'lcom', 'perl', 'ijpeg', 'xlisp', 'beta', 'm88ksim')
+ZIPF = {'idl':1.6,'jhm':1.8,'self':1.3,'troff':1.4,'lcom':1.5,'porky':1.4,'ixx':1.4,
+        'eqn':1.4,'beta':1.4,'xlisp':1.5,'perl':1.4,'edg':1.4,'gcc':1.3,'m88ksim':1.2,
+        'vortex':1.3,'ijpeg':2.0,'go':1.0}
+STRUCT = {}
+for n in TARGETS:
+    if n in LOW_FLOOR:
+        STRUCT[n] = dict(step_skip_prob=0.002, loop_repeat_prob=0.995, class_flow_affinity=0.998,
+                         stable_run_mean=16.0, class_zipf=ZIPF[n])
+    else:
+        STRUCT[n] = dict(step_skip_prob=0.005, loop_repeat_prob=0.97, class_flow_affinity=0.99,
+                         stable_run_mean=16.0, class_zipf=ZIPF[n])
+STRUCT['gcc'].update(flow_count=10, loop_segments=20, loop_count=4)
+STRUCT['edg'].update(flow_count=14, loop_segments=16)
+STRUCT['ixx'].update(phase_length_items=5000)
+for n in ('perl', 'xlisp', 'ijpeg', 'idl'):
+    STRUCT[n].update(phase_length_items=25000)
+STRUCT['ijpeg'].update(loop_segments=3, stable_run_mean=24.0)
+STRUCT['lcom'].update(phase_length_items=15000)
+STRUCT['beta'].update(phase_length_items=8000)
+STRUCT['self'].update(field_dispatch_prob=0.30, phase_length_items=2500)
+KNOBS = ("repeat_prob", "segment_noise", "switch_noise", "field_noise", "class_noise")
+S = 18.0
+
+prev = None  # start from the values frozen in the suite
+state = {}
+for name, spec in BENCHMARKS.items():
+    overrides = dict(STRUCT[name])
+    if prev is not None:
+        overrides['flow_length_mean'] = prev[name]['flow_length_mean']
+        for k in KNOBS:
+            overrides[k] = prev[name][k]
+    state[name] = replace(spec.config, **overrides)
+
+def measure(cfg, ps=(2,3,4,5)):
+    trace = generate_trace(cfg)
+    B = simulate(build_predictor(BTBConfig()), trace).misprediction_rate
+    Balw = simulate(build_predictor(BTBConfig(update_rule='always')), trace).misprediction_rate
+    rates = {p: simulate(build_predictor(TwoLevelConfig.unconstrained(p)), trace).misprediction_rate for p in ps}
+    return B, Balw, rates
+
+def clamp(v, lo, hi): return max(lo, min(hi, v))
+
+AVG13 = [n for n in TARGETS if n not in ('m88ksim','vortex','ijpeg','go')]
+ROUNDS = 6
+for rnd in range(ROUNDS):
+    print(f"--- round {rnd} ---", flush=True)
+    sums = [0.0, 0.0]
+    final = rnd == ROUNDS - 1
+    ps = (0,1,2,3,4,5,6,8,10,12) if final else (2,3,4,5)
+    curves = {p: [] for p in ps}
+    for name in BENCHMARKS:
+        cfg = state[name]
+        Bt, Ft = TARGETS[name]
+        Bm, Balw, rates = measure(cfg, ps)
+        Fm = min(rates[p] for p in (2,3,4,5))
+        if name in AVG13:
+            sums[0] += Bm; sums[1] += Balw
+            for p in ps: curves[p].append(rates[p])
+        print(f"{name:8s} B {Bm:6.2f}/{Bt:6.2f} (alw {Balw:6.2f})  F {Fm:6.2f}/{Ft:6.2f}", flush=True)
+        if final:
+            continue
+        gF = clamp((Ft / max(Fm, 0.05)) ** 0.5, 0.6, 1.7)
+        new = {}
+        new['segment_noise'] = clamp(cfg.segment_noise * gF, 0.0, 1.0)
+        new['switch_noise'] = clamp(cfg.switch_noise * gF, 0.0, 0.5)
+        new['field_noise'] = clamp(cfg.field_noise * gF, 0.0, 0.5)
+        new['class_noise'] = clamp(cfg.class_noise * gF, 0.0, 0.4)
+        Am = max(Bm - 1.35 * Fm, 0.05)
+        At = max(Bt - 1.35 * Ft, 0.02)
+        factor = clamp((At / Am) ** 0.5, 0.6, 1.7)
+        r = cfg.repeat_prob
+        alt = (1 - r) / (1 + (S - 1) * r)
+        alt = clamp(alt * factor, 0.002, 0.995)
+        new['repeat_prob'] = clamp((1 - alt) / (1 + (S - 1) * alt), 0.0, 0.995)
+        state[name] = replace(cfg, **new)
+    print(f"AVG13 2bc {sums[0]/13:.2f} (paper 24.9)  always {sums[1]/13:.2f} (paper 28.1)", flush=True)
+    if final:
+        paper9 = {0:24.9,1:13.1,2:8.8,3:7.1,4:6.5,5:6.2,6:5.8,8:6.2,10:6.8,12:7.3}
+        print("AVG p-curve:")
+        for p in ps:
+            print(f"  p={p:2d}  {sum(curves[p])/13:6.2f}   paper~{paper9.get(p,'-')}")
+
+out = {}
+for name, cfg in state.items():
+    entry = {k: round(getattr(cfg, k), 6) for k in KNOBS}
+    entry['flow_length_mean'] = cfg.flow_length_mean
+    for k, v in STRUCT[name].items():
+        entry[k] = v
+    out[name] = entry
+json.dump(out, open('calibrated_knobs.json', 'w'), indent=1)
+print('saved calibrated_knobs.json')
