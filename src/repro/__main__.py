@@ -6,6 +6,10 @@ Subcommands:
     Run reproduction experiments (all by default) and print the
     paper-style comparisons.  ``--full`` uses the paper's complete
     parameter grids; ``--out DIR`` also writes each rendering to a file.
+    ``--checkpoint-dir DIR`` makes the run crash-safe: traces are cached
+    on disk (checksummed) and every completed (config, benchmark)
+    simulation is journalled, so a killed run continues from where it
+    stopped with ``--resume`` instead of starting over.
 
 ``simulate SPEC [BENCHMARKS...]``
     Simulate one predictor spec (see :mod:`repro.core.factory`) over the
@@ -25,6 +29,7 @@ from typing import List, Optional
 
 from .core.factory import config_from_spec
 from .experiments import experiment_ids, run_experiment
+from .experiments.base import checkpointed_runner
 from .sim.reporting import format_table
 from .sim.suite_runner import shared_runner
 from .workloads import generate_trace, save_trace, save_trace_text, workload_config
@@ -33,7 +38,13 @@ from .workloads.suite import GROUPS, benchmark_names
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     ids = args.ids or experiment_ids()
-    runner = shared_runner()
+    if args.checkpoint_dir:
+        runner = checkpointed_runner(args.checkpoint_dir, resume=args.resume)
+        if args.resume and len(runner.checkpoint):
+            print(f"resuming: {len(runner.checkpoint)} checkpointed "
+                  f"simulation(s) will not be re-run", file=sys.stderr)
+    else:
+        runner = shared_runner()
     out_dir: Optional[Path] = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -63,6 +74,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace = generate_trace(workload_config(args.benchmark, args.scale))
+    Path(args.file).parent.mkdir(parents=True, exist_ok=True)
     if args.file.endswith(".txt"):
         save_trace_text(trace, args.file)
     else:
@@ -87,6 +99,12 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--full", action="store_true",
                              help="run the paper's full parameter grids")
     experiments.add_argument("--out", help="directory for rendered results")
+    experiments.add_argument("--checkpoint-dir",
+                             help="directory for the crash-safe trace cache "
+                                  "and result journal")
+    experiments.add_argument("--resume", action="store_true",
+                             help="replay the journal in --checkpoint-dir and "
+                                  "skip completed simulations")
     experiments.set_defaults(handler=_cmd_experiments)
 
     simulate = subparsers.add_parser(
@@ -105,8 +123,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    return args.handler(args)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
+        parser.error("--resume requires --checkpoint-dir")
+    try:
+        return args.handler(args)
+    except OSError as exc:
+        # Unwritable output paths and I/O failures exit cleanly instead of
+        # dumping a traceback; library errors (ConfigError, ...) propagate.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

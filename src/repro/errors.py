@@ -3,13 +3,43 @@
 All errors raised by this library derive from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause without
 swallowing unrelated bugs.
+
+Errors carry a structured ``context`` dict (benchmark, config label,
+elapsed time, attempt count, ...) populated by the execution-policy layer
+(:mod:`repro.runtime.policies`) so that a failure deep inside a sweep can
+be reported — and journalled — with enough information to retry or skip it.
 """
 
 from __future__ import annotations
 
+from typing import Dict
+
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    Attributes:
+        context: structured diagnostic fields attached as the error
+            propagates (e.g. ``benchmark``, ``config``, ``elapsed``,
+            ``attempt``).  Empty for errors raised outside the runtime
+            layer.
+    """
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        self.context: Dict[str, object] = {}
+
+    def with_context(self, **fields: object) -> "ReproError":
+        """Attach structured fields; returns ``self`` for re-raising."""
+        self.context.update(fields)
+        return self
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if not self.context:
+            return base
+        detail = ", ".join(f"{key}={value!r}" for key, value in self.context.items())
+        return f"{base} [{detail}]"
 
 
 class ConfigError(ReproError, ValueError):
@@ -26,6 +56,19 @@ class TraceError(ReproError, ValueError):
 
 class SimulationError(ReproError, RuntimeError):
     """A failure during trace-driven simulation."""
+
+
+class DeadlineError(SimulationError):
+    """A simulation exceeded its per-run deadline.
+
+    Not retried by the execution policy: a run that blew its budget once
+    will blow it again, so the failure is surfaced immediately with the
+    elapsed time in :attr:`ReproError.context`.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A corrupt or unusable checkpoint journal."""
 
 
 class ExperimentError(ReproError, RuntimeError):

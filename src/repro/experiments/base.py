@@ -20,7 +20,8 @@ side-by-side comparison, which is what EXPERIMENTS.md records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..sim.reporting import format_series, format_table, summarize_shape
 
@@ -98,3 +99,39 @@ def default_runner(runner: Optional[object]):
     from ..sim.suite_runner import shared_runner
 
     return runner if runner is not None else shared_runner()
+
+
+def checkpointed_runner(
+    checkpoint_dir: Union[str, Path],
+    resume: bool = False,
+    benchmarks: Optional[List[str]] = None,
+    scale: Optional[float] = None,
+    policy: Optional[object] = None,
+):
+    """A :class:`~repro.sim.suite_runner.SuiteRunner` with durability.
+
+    Layout inside ``checkpoint_dir``:
+
+    * ``traces/`` — validated on-disk trace cache (checksummed binary
+      format; corrupt files regenerate transparently);
+    * ``results.jsonl`` — append-only journal of completed
+      (config, benchmark) simulation results.
+
+    With ``resume=True`` an existing journal is replayed so completed
+    pairs are never re-simulated; otherwise any previous journal is
+    truncated and the run starts fresh (the trace cache is always kept —
+    traces are deterministic per benchmark + scale).
+    """
+    from ..runtime.checkpoint import CheckpointJournal
+    from ..sim.suite_runner import SuiteRunner
+
+    directory = Path(checkpoint_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    journal = CheckpointJournal(directory / "results.jsonl", resume=resume)
+    return SuiteRunner(
+        benchmarks=benchmarks,
+        scale=scale,
+        cache_dir=directory / "traces",
+        checkpoint=journal,
+        policy=policy,
+    )

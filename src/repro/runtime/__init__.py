@@ -1,0 +1,42 @@
+"""Crash-safe execution runtime for long-running sweeps.
+
+The paper's design-space study is hundreds of (config, benchmark)
+simulations; this package supplies the durability layer that makes such
+sweeps survivable:
+
+* :mod:`repro.runtime.cache` — a validated on-disk trace cache (checksummed
+  v2 binary format, atomic writes, corruption quarantined and regenerated);
+* :mod:`repro.runtime.checkpoint` — an append-only JSONL journal of
+  completed ``(config, benchmark) -> SimulationResult`` records so a killed
+  run resumes where it stopped;
+* :mod:`repro.runtime.policies` — per-simulation deadline and bounded
+  retry-with-backoff, attaching structured error context;
+* :mod:`repro.runtime.faults` — deterministic fault injection used by the
+  tests to prove the degradation paths work.
+"""
+
+from .cache import TraceCache
+from .checkpoint import CheckpointJournal, config_key
+from .faults import (
+    FakeClock,
+    FaultInjectedError,
+    FlakyCallable,
+    SlowCallable,
+    corrupt_file,
+    truncate_file,
+)
+from .policies import ExecutionPolicy, run_with_policy
+
+__all__ = [
+    "CheckpointJournal",
+    "ExecutionPolicy",
+    "FakeClock",
+    "FaultInjectedError",
+    "FlakyCallable",
+    "SlowCallable",
+    "TraceCache",
+    "config_key",
+    "corrupt_file",
+    "run_with_policy",
+    "truncate_file",
+]

@@ -1,0 +1,95 @@
+"""Validated on-disk trace cache.
+
+Generating a benchmark trace costs seconds of CPU; a design-space sweep
+revisits the same 17 traces thousands of times.  :class:`TraceCache`
+persists generated traces in the checksummed binary format of
+:mod:`repro.workloads.io` and *validates on load*: a corrupt or truncated
+file — torn write, disk error, concurrent writer killed mid-rename — is
+detected by the CRC32/structure checks, quarantined, and reported as a
+miss, so callers transparently regenerate instead of crashing.
+
+Cache keys incorporate the effective trace-length scale, so runs at
+different ``REPRO_TRACE_SCALE`` values (or explicit ``scale`` arguments)
+never serve each other's traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from ..errors import TraceError
+from ..workloads.io import load_trace, save_trace
+from ..workloads.trace import Trace
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CacheStats:
+    """Observability counters for one :class:`TraceCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corruptions: int = 0
+    #: (cache key, reason) for every validation failure seen.
+    corruption_log: List[Tuple[str, str]] = field(default_factory=list)
+
+
+class TraceCache:
+    """A directory of checksummed trace files keyed by benchmark + scale."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    @staticmethod
+    def key(name: str, scale: Optional[float] = None) -> str:
+        """The cache key for one benchmark at one explicit scale."""
+        from ..workloads.suite import trace_scale
+
+        factor = trace_scale() * (scale if scale is not None else 1.0)
+        return name if factor == 1.0 else f"{name}@x{factor:g}"
+
+    def path_for(self, key: str) -> Path:
+        # Keys may contain characters awkward in filenames ('@', '.') but
+        # none that are path separators; keep them readable as-is.
+        return self.directory / f"{key}.trace"
+
+    def load(self, key: str) -> Optional[Trace]:
+        """The cached trace, or ``None`` on miss *or* corruption.
+
+        A file that fails validation is moved aside to ``<name>.corrupt``
+        (best effort) so the next :meth:`store` rewrites a clean copy and
+        the evidence survives for debugging.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            trace = load_trace(path)
+        except (TraceError, OSError) as exc:
+            self.stats.misses += 1
+            self.stats.corruptions += 1
+            self.stats.corruption_log.append((key, str(exc)))
+            try:
+                path.replace(path.with_suffix(".corrupt"))
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return trace
+
+    def store(self, key: str, trace: Trace) -> Path:
+        """Atomically persist a trace under ``key``."""
+        path = self.path_for(key)
+        save_trace(trace, path)
+        self.stats.stores += 1
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TraceCache({str(self.directory)!r}, stats={self.stats})"

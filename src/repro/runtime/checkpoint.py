@@ -1,0 +1,182 @@
+"""Checkpointed result store: an append-only JSONL journal.
+
+Every completed ``(config, benchmark)`` simulation is appended to the
+journal as one self-contained JSON line and flushed (``flush`` +
+``fsync``), so a killed ``--full`` sweep loses at most the simulation that
+was in flight.  On resume the journal is replayed into the runner's memo
+table and completed pairs are never re-simulated.
+
+Configurations are keyed by :func:`config_key`, a canonical JSON encoding
+of the frozen config dataclass (class name + sorted fields), which is
+stable across processes — unlike ``hash()`` — and survives config-class
+field additions as long as defaults are preserved.
+
+A partial final line (the signature of a crash mid-append) is tolerated
+and dropped; corruption anywhere earlier in the journal raises
+:class:`~repro.errors.CheckpointError`, since silently dropping completed
+work would make a resumed sweep quietly re-run or — worse — skip pairs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from ..errors import CheckpointError
+from ..sim.engine import SimulationResult
+
+PathLike = Union[str, Path]
+
+_FORMAT = "repro-checkpoint"
+_VERSION = 1
+
+
+def config_key(config: object) -> str:
+    """A canonical, process-stable string key for a predictor config."""
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        data = dataclasses.asdict(config)
+    elif isinstance(config, str):
+        return config
+    else:
+        raise CheckpointError(
+            f"cannot key a {type(config).__name__}; expected a config dataclass"
+        )
+    payload = {"kind": type(config).__name__, "fields": data}
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed simulation results.
+
+    Args:
+        path: journal file; created (with parents) if missing.
+        resume: when ``True`` existing records are loaded and served;
+            when ``False`` an existing journal is truncated and the run
+            starts fresh.
+    """
+
+    def __init__(self, path: PathLike, resume: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._entries: Dict[Tuple[str, str], SimulationResult] = {}
+        self.dropped_partial = False
+        self._keep_bytes: Optional[int] = None
+        if resume and self.path.exists():
+            usable = self._load()
+            if usable and self._keep_bytes is not None:
+                # Cut the torn tail off *before* appending, otherwise the
+                # next record would be concatenated onto the partial line
+                # and corrupt the journal for every later resume.
+                with open(self.path, "rb+") as stream:
+                    stream.truncate(self._keep_bytes)
+            mode = "a" if usable else "w"
+        else:
+            mode = "w"
+        self._stream = open(self.path, mode, encoding="utf-8")
+        if self._stream.tell() == 0:
+            self._append({"format": _FORMAT, "version": _VERSION})
+
+    # -- reading ------------------------------------------------------------
+
+    def _load(self) -> bool:
+        """Replay an existing journal; ``False`` means start fresh."""
+        raw = self.path.read_bytes()
+        lines = raw.split(b"\n")
+        if lines and lines[-1] == b"":
+            lines.pop()
+        if not lines:
+            return False
+
+        def tail_start(line: bytes) -> int:
+            return len(raw) - len(line) - (1 if raw.endswith(b"\n") else 0)
+
+        for index, line in enumerate(lines):
+            last = index == len(lines) - 1
+            try:
+                record = json.loads(line.decode("utf-8"))
+            except ValueError:
+                if last:
+                    # A torn final append from a crashed writer: drop it.
+                    # (If that was the header, the file holds nothing yet.)
+                    self.dropped_partial = True
+                    self._keep_bytes = tail_start(line)
+                    return index > 0
+                raise CheckpointError(
+                    f"{self.path}:{index + 1}: corrupt journal line"
+                ) from None
+            if index == 0:
+                if record.get("format") != _FORMAT:
+                    raise CheckpointError(
+                        f"{self.path}: not a checkpoint journal "
+                        f"(header {record!r})"
+                    )
+                if record.get("version") != _VERSION:
+                    raise CheckpointError(
+                        f"{self.path}: unsupported journal version "
+                        f"{record.get('version')!r}"
+                    )
+                continue
+            try:
+                key = (record["config"], record["benchmark"])
+                result = SimulationResult.from_dict(record["result"])
+            except Exception as exc:
+                if last:
+                    self.dropped_partial = True
+                    self._keep_bytes = tail_start(line)
+                    continue
+                raise CheckpointError(
+                    f"{self.path}:{index + 1}: malformed record: {exc}"
+                ) from exc
+            self._entries[key] = result
+        return True
+
+    def get(self, config: object, benchmark: str) -> Optional[SimulationResult]:
+        """The journalled result for one pair, or ``None``."""
+        return self._entries.get((config_key(config), benchmark))
+
+    def __contains__(self, pair: Tuple[object, str]) -> bool:
+        config, benchmark = pair
+        return (config_key(config), benchmark) in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Tuple[Tuple[str, str], SimulationResult]]:
+        return iter(self._entries.items())
+
+    # -- writing ------------------------------------------------------------
+
+    def _append(self, record: dict) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def record(self, config: object, benchmark: str,
+               result: SimulationResult) -> None:
+        """Journal one completed simulation (idempotent per pair)."""
+        key = (config_key(config), benchmark)
+        if key in self._entries:
+            return
+        self._entries[key] = result
+        self._append({
+            "config": key[0],
+            "benchmark": benchmark,
+            "label": getattr(config, "label", str(config)),
+            "result": result.to_dict(),
+        })
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CheckpointJournal({str(self.path)!r}, entries={len(self)})"

@@ -1,0 +1,117 @@
+"""Deterministic fault injection for the runtime's degradation paths.
+
+The crash-safety claims of this package are only real if they are
+exercised: these helpers inject the three failure families the runtime
+must survive, deterministically, so tests can assert on exact behaviour.
+
+* **Storage corruption** — :func:`corrupt_file` / :func:`truncate_file`
+  mutate a cached trace or journal on disk byte-exactly.
+* **Transient failures** — :class:`FlakyCallable` wraps a callable (e.g.
+  :func:`repro.sim.engine.simulate`) and raises
+  :class:`FaultInjectedError` on chosen call indices, modelling
+  raise-on-Nth-simulation crashes.
+* **Slowness** — :class:`SlowCallable` advances a :class:`FakeClock` by a
+  configured amount per call, driving deadline policies without real
+  sleeping.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Iterable, Optional, Union
+
+from ..errors import SimulationError
+
+PathLike = Union[str, Path]
+
+
+class FaultInjectedError(SimulationError):
+    """A deliberately injected failure (retryable, like any transient)."""
+
+
+class FakeClock:
+    """A manually advanced monotonic clock; doubles as a sleep function.
+
+    Use as ``ExecutionPolicy(clock=clock, sleep=clock.sleep)`` so deadline
+    and backoff behaviour run in virtual time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+        self.sleeps: list = []
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.sleeps.append(seconds)
+        self.advance(seconds)
+
+
+class FlakyCallable:
+    """Wraps ``fn``; raises on the given 1-based call indices.
+
+    Args:
+        fn: the callable to wrap.
+        fail_on: call indices (1-based, across the wrapper's lifetime) that
+            raise instead of executing ``fn``.
+        error_factory: builds the exception for call ``n`` (defaults to
+            :class:`FaultInjectedError`).
+    """
+
+    def __init__(
+        self,
+        fn: Callable,
+        fail_on: Iterable[int],
+        error_factory: Optional[Callable[[int], BaseException]] = None,
+    ) -> None:
+        self.fn = fn
+        self.fail_on = frozenset(fail_on)
+        self.error_factory = error_factory or (
+            lambda n: FaultInjectedError(f"injected failure on call {n}")
+        )
+        self.calls = 0
+        self.injected = 0
+
+    def __call__(self, *args: object, **kwargs: object):
+        self.calls += 1
+        if self.calls in self.fail_on:
+            self.injected += 1
+            raise self.error_factory(self.calls)
+        return self.fn(*args, **kwargs)
+
+
+class SlowCallable:
+    """Wraps ``fn``; every call advances ``clock`` by ``delay`` seconds."""
+
+    def __init__(self, fn: Callable, delay: float, clock: FakeClock) -> None:
+        self.fn = fn
+        self.delay = delay
+        self.clock = clock
+        self.calls = 0
+
+    def __call__(self, *args: object, **kwargs: object):
+        self.calls += 1
+        self.clock.advance(self.delay)
+        return self.fn(*args, **kwargs)
+
+
+def corrupt_file(path: PathLike, offset: int, xor: int = 0xFF) -> None:
+    """Flip bits of one byte in place (``xor`` must be non-zero to mutate)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if not data:
+        raise ValueError(f"{path}: cannot corrupt an empty file")
+    offset %= len(data)
+    data[offset] ^= xor & 0xFF
+    path.write_bytes(bytes(data))
+
+
+def truncate_file(path: PathLike, keep_bytes: int) -> None:
+    """Truncate a file to its first ``keep_bytes`` bytes."""
+    path = Path(path)
+    data = path.read_bytes()
+    path.write_bytes(data[:max(0, keep_bytes)])

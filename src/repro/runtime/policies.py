@@ -1,0 +1,113 @@
+"""Execution policies: deadlines, bounded retries, structured error context.
+
+A sweep over hundreds of (config, benchmark) pairs must not die because one
+simulation hit a transient failure, and must not hang because one
+simulation is pathologically slow.  :class:`ExecutionPolicy` bundles the
+per-simulation budget and retry behaviour; :func:`run_with_policy` applies
+it to any zero-argument callable.
+
+The clock and sleep functions are injectable so the fault-injection tests
+can drive deadline and backoff behaviour deterministically (see
+:class:`repro.runtime.faults.FakeClock`).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Tuple, Type, TypeVar
+
+from ..errors import DeadlineError, ReproError, SimulationError
+
+T = TypeVar("T")
+
+
+@dataclass
+class ExecutionPolicy:
+    """How one unit of work (typically one simulation) is executed.
+
+    Attributes:
+        deadline: per-attempt wall-clock budget in seconds; ``None`` means
+            unbounded.  Exceeding it raises :class:`DeadlineError`, which is
+            never retried (a run that blew its budget will blow it again).
+        max_attempts: total attempts per unit of work (1 = no retries).
+        backoff: base sleep between attempts, doubled after each failure
+            (``backoff * 2**(attempt-1)`` seconds).
+        retry_on: exception types considered transient and retryable.
+        clock: monotonic time source (injectable for tests).
+        sleep: sleep function (injectable for tests).
+    """
+
+    deadline: Optional[float] = None
+    max_attempts: int = 1
+    backoff: float = 0.0
+    retry_on: Tuple[Type[BaseException], ...] = (SimulationError, OSError)
+    clock: Callable[[], float] = field(default=time.monotonic)
+    sleep: Callable[[float], None] = field(default=time.sleep)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be non-negative, got {self.backoff}")
+
+
+#: The default policy: no deadline, no retries — plain direct execution.
+DIRECT = ExecutionPolicy()
+
+
+def run_with_policy(
+    work: Callable[[], T],
+    policy: Optional[ExecutionPolicy] = None,
+    context: Optional[Mapping[str, object]] = None,
+) -> T:
+    """Run ``work`` under ``policy``, attaching structured error context.
+
+    Retryable failures are re-attempted up to ``policy.max_attempts`` times
+    with exponential backoff.  An attempt whose wall-clock time exceeds
+    ``policy.deadline`` raises :class:`DeadlineError` immediately (no
+    retry).  Errors escaping this function carry ``context`` plus
+    ``elapsed``, ``attempt``, and ``max_attempts`` on their
+    :attr:`ReproError.context` dict.
+    """
+    policy = policy or DIRECT
+    base_context = dict(context or {})
+
+    def annotate(error: BaseException, elapsed: float, attempt: int) -> None:
+        if isinstance(error, ReproError):
+            error.with_context(
+                **base_context,
+                elapsed=round(elapsed, 6),
+                attempt=attempt,
+                max_attempts=policy.max_attempts,
+            )
+
+    for attempt in range(1, policy.max_attempts + 1):
+        start = policy.clock()
+        try:
+            value = work()
+        except DeadlineError as exc:
+            annotate(exc, policy.clock() - start, attempt)
+            raise
+        except policy.retry_on as exc:
+            elapsed = policy.clock() - start
+            if attempt >= policy.max_attempts:
+                annotate(exc, elapsed, attempt)
+                raise
+            if policy.backoff > 0:
+                policy.sleep(policy.backoff * (2 ** (attempt - 1)))
+            continue
+        except ReproError as exc:
+            annotate(exc, policy.clock() - start, attempt)
+            raise
+        elapsed = policy.clock() - start
+        if policy.deadline is not None and elapsed > policy.deadline:
+            error = DeadlineError(
+                f"work finished but exceeded its {policy.deadline:g}s deadline"
+            )
+            annotate(error, elapsed, attempt)
+            raise error
+        return value
+    raise AssertionError("unreachable")  # pragma: no cover

@@ -32,6 +32,25 @@ class SimulationResult:
                 f"{self.events} events"
             )
 
+    def to_dict(self) -> dict:
+        """JSON-ready form, used by the checkpoint journal."""
+        return {
+            "benchmark": self.benchmark,
+            "predictor": self.predictor,
+            "events": self.events,
+            "mispredictions": self.mispredictions,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result journalled by :meth:`to_dict` (validating)."""
+        return cls(
+            benchmark=data["benchmark"],
+            predictor=data["predictor"],
+            events=int(data["events"]),
+            mispredictions=int(data["mispredictions"]),
+        )
+
     @property
     def misprediction_rate(self) -> float:
         """Misprediction percentage (0..100), the paper's reported metric."""

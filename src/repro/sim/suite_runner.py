@@ -4,11 +4,23 @@ The :class:`SuiteRunner` caches generated traces (generation costs seconds
 per benchmark) and memoises simulation results per (config, benchmark), so
 parameter sweeps that revisit configurations — as the best-predictor
 searches of Figures 16/18 do — pay for each simulation once per process.
+
+For crash safety the runner can additionally be given the durability layer
+from :mod:`repro.runtime`:
+
+* ``cache_dir`` — traces are persisted to a validated on-disk cache
+  (checksummed format, atomic writes); corrupt or truncated files are
+  detected at load, quarantined, and regenerated transparently;
+* ``checkpoint`` — completed (config, benchmark) results are journalled to
+  an append-only JSONL file and replayed on resume, so a killed sweep
+  continues where it stopped instead of starting over;
+* ``policy`` — each simulation runs under a configurable deadline /
+  retry-with-backoff policy with structured error context.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import PredictorConfig
 from ..core.factory import build_predictor
@@ -26,22 +38,67 @@ class SuiteRunner:
         self,
         benchmarks: Optional[Iterable[str]] = None,
         scale: Optional[float] = None,
+        cache_dir: Optional[object] = None,
+        checkpoint: Optional[object] = None,
+        policy: Optional[object] = None,
+        simulate_fn: Optional[Callable[..., SimulationResult]] = None,
+        generate_fn: Optional[Callable[..., Trace]] = None,
     ) -> None:
+        """Args beyond the suite subset and trace scale:
+
+        Args:
+            cache_dir: directory for the on-disk trace cache (or an already
+                constructed :class:`repro.runtime.cache.TraceCache`).
+            checkpoint: a :class:`repro.runtime.checkpoint.CheckpointJournal`
+                consulted before simulating and appended to after.
+            policy: a :class:`repro.runtime.policies.ExecutionPolicy`
+                applied to every simulation (deadline, retries).
+            simulate_fn: override for :func:`repro.sim.engine.simulate`
+                (used by fault-injection tests).
+            generate_fn: override for trace generation (fault injection).
+        """
         self.benchmarks: Tuple[str, ...] = tuple(
             benchmarks if benchmarks is not None else benchmark_names()
         )
         self.scale = scale
         self._traces: Dict[str, Trace] = {}
         self._results: Dict[Tuple[PredictorConfig, str], SimulationResult] = {}
+        self._simulate = simulate_fn if simulate_fn is not None else simulate
+        self._generate = generate_fn if generate_fn is not None else generate_trace
+        self.checkpoint = checkpoint
+        self.policy = policy
+        if cache_dir is None:
+            self.trace_cache = None
+        else:
+            from ..runtime.cache import TraceCache
+
+            self.trace_cache = (
+                cache_dir if isinstance(cache_dir, TraceCache)
+                else TraceCache(cache_dir)
+            )
 
     # -- traces -------------------------------------------------------------
 
     def trace(self, name: str) -> Trace:
-        """The (cached) trace for one benchmark."""
+        """The (cached) trace for one benchmark.
+
+        Lookup order: in-memory memo, on-disk cache (when configured),
+        regeneration.  A cached file that fails checksum/structure
+        validation counts as a miss: the trace is regenerated and the
+        clean bytes are rewritten atomically over the corrupt file.
+        """
         cached = self._traces.get(name)
+        if cached is None and self.trace_cache is not None:
+            cached = self.trace_cache.load(self.trace_cache.key(name, self.scale))
+            if cached is not None:
+                self._traces[name] = cached
         if cached is None:
-            cached = generate_trace(workload_config(name, self.scale))
+            cached = self._generate(workload_config(name, self.scale))
             self._traces[name] = cached
+            if self.trace_cache is not None:
+                self.trace_cache.store(
+                    self.trace_cache.key(name, self.scale), cached
+                )
         return cached
 
     def traces(self) -> Dict[str, Trace]:
@@ -50,14 +107,47 @@ class SuiteRunner:
     # -- simulation --------------------------------------------------------
 
     def result(self, config: PredictorConfig, benchmark: str) -> SimulationResult:
-        """Simulate one config on one benchmark (memoised)."""
+        """Simulate one config on one benchmark (memoised + checkpointed).
+
+        The checkpoint journal (when configured) is consulted before any
+        trace is generated or simulated, so resuming a killed sweep skips
+        completed pairs entirely; fresh results are journalled with an
+        atomic flush before being returned.
+        """
         key = (config, benchmark)
         cached = self._results.get(key)
-        if cached is None:
-            predictor = build_predictor(config)
-            cached = simulate(predictor, self.trace(benchmark))
-            self._results[key] = cached
+        if cached is not None:
+            return cached
+        if self.checkpoint is not None:
+            cached = self.checkpoint.get(config, benchmark)
+            if cached is not None:
+                self._results[key] = cached
+                return cached
+        cached = self._run_simulation(config, benchmark)
+        self._results[key] = cached
+        if self.checkpoint is not None:
+            self.checkpoint.record(config, benchmark, cached)
         return cached
+
+    def _run_simulation(
+        self, config: PredictorConfig, benchmark: str
+    ) -> SimulationResult:
+        def work() -> SimulationResult:
+            predictor = build_predictor(config)
+            return self._simulate(predictor, self.trace(benchmark))
+
+        if self.policy is None:
+            return work()
+        from ..runtime.policies import run_with_policy
+
+        return run_with_policy(
+            work,
+            self.policy,
+            context={
+                "benchmark": benchmark,
+                "config": getattr(config, "label", str(config)),
+            },
+        )
 
     def rates(
         self,

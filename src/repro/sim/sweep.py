@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.config import PredictorConfig
+from ..errors import ReproError
 from ..workloads.suite import AVG_BENCHMARKS
 from .groups import with_group_averages
 from .suite_runner import SuiteRunner, shared_runner
@@ -69,8 +70,19 @@ def sweep(
     """
     runner = runner or shared_runner()
     result = SweepResult()
+    completed = 0
     for point, config in configs.items():
-        rates = runner.rates(config, benchmarks)
+        try:
+            rates = runner.rates(config, benchmarks)
+        except ReproError as exc:
+            # Annotate with where the sweep died: results up to here are
+            # safe in the runner's checkpoint journal (when configured),
+            # so a resumed sweep replays them and continues from `point`.
+            raise exc.with_context(
+                sweep_point=str(point),
+                sweep_completed=completed,
+                sweep_total=len(configs),
+            )
         augmented = with_group_averages(rates) if groups else dict(rates)
         if groups and "AVG" not in augmented:
             # Partial-suite run: fall back to the mean over the covered AVG
@@ -81,6 +93,7 @@ def sweep(
                 members = list(rates)
             augmented["AVG"] = sum(rates[name] for name in members) / len(members)
         result.points[point] = augmented
+        completed += 1
         if progress is not None:
             progress(point)
     return result

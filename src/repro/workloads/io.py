@@ -6,12 +6,23 @@ Two formats are provided:
   ``uint32`` columns) used for caching generated traces on disk;
 * a human-readable text format (one ``pc target`` hex pair per line) for
   debugging and for importing traces produced by external tools.
+
+The binary format is version 2 (magic ``REPROTR2``): the header carries a
+CRC32 checksum for the metadata blob and for each event column, so that a
+torn write, a truncated download, or bit rot in a cache directory is
+detected at load time instead of silently corrupting a sweep.  Writes go
+through a temporary file in the destination directory followed by an atomic
+rename, so a reader never observes a half-written trace.  Version-1 files
+(``REPROTR1``, no checksums) are still readable.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import struct
+import tempfile
+import zlib
 from array import array
 from pathlib import Path
 from typing import Union
@@ -19,8 +30,11 @@ from typing import Union
 from ..errors import TraceError
 from .trace import Trace, TraceMetadata
 
-_MAGIC = b"REPROTR1"
-_HEADER = struct.Struct("<8sII")  # magic, metadata length, event count
+_MAGIC_V1 = b"REPROTR1"
+_MAGIC = b"REPROTR2"
+_HEADER_V1 = struct.Struct("<8sII")  # magic, metadata length, event count
+#: magic, metadata length, event count, metadata CRC32, pc CRC32, target CRC32
+_HEADER = struct.Struct("<8sIIIII")
 
 PathLike = Union[str, Path]
 
@@ -52,29 +66,96 @@ def _metadata_from_dict(data: dict) -> TraceMetadata:
 
 
 def save_trace(trace: Trace, path: PathLike) -> None:
-    """Write a trace in the binary cache format."""
+    """Write a trace in the binary cache format (v2, checksummed).
+
+    The file is written to a temporary sibling and renamed into place, so
+    concurrent readers and crashed writers never leave a partial trace at
+    ``path``.
+    """
     metadata_blob = json.dumps(_metadata_to_dict(trace.metadata)).encode("utf-8")
-    pcs = array("I", trace.pcs)
-    targets = array("I", trace.targets)
-    with open(path, "wb") as stream:
-        stream.write(_HEADER.pack(_MAGIC, len(metadata_blob), len(trace)))
-        stream.write(metadata_blob)
-        stream.write(pcs.tobytes())
-        stream.write(targets.tobytes())
+    try:
+        pcs = array("I", trace.pcs)
+        targets = array("I", trace.targets)
+    except OverflowError as exc:
+        raise TraceError(
+            f"{path}: trace {trace.name!r} has an address outside the 32-bit "
+            f"space supported by the binary format: {exc}"
+        ) from exc
+    pc_blob = pcs.tobytes()
+    target_blob = targets.tobytes()
+    header = _HEADER.pack(
+        _MAGIC,
+        len(metadata_blob),
+        len(trace),
+        zlib.crc32(metadata_blob),
+        zlib.crc32(pc_blob),
+        zlib.crc32(target_blob),
+    )
+    path = Path(path)
+    descriptor, temp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=str(path.parent) or "."
+    )
+    try:
+        with os.fdopen(descriptor, "wb") as stream:
+            stream.write(header)
+            stream.write(metadata_blob)
+            stream.write(pc_blob)
+            stream.write(target_blob)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _check_crc(path: PathLike, what: str, blob: bytes, expected: int) -> None:
+    actual = zlib.crc32(blob)
+    if actual != expected:
+        raise TraceError(
+            f"{path}: {what} checksum mismatch "
+            f"(stored {expected:#010x}, computed {actual:#010x}); "
+            f"the file is corrupt"
+        )
 
 
 def load_trace(path: PathLike) -> Trace:
-    """Read a trace written by :func:`save_trace`."""
+    """Read a trace written by :func:`save_trace`.
+
+    Verifies the per-column CRC32 checksums (v2 files), rejects truncated
+    files, and rejects trailing garbage after the event columns, reporting
+    the byte offset at which the unexpected data starts.
+    """
     with open(path, "rb") as stream:
-        header = stream.read(_HEADER.size)
-        if len(header) != _HEADER.size:
+        magic = stream.read(8)
+        if len(magic) != 8:
             raise TraceError(f"{path}: truncated trace header")
-        magic, metadata_length, event_count = _HEADER.unpack(header)
-        if magic != _MAGIC:
+        if magic == _MAGIC:
+            rest = stream.read(_HEADER.size - 8)
+            if len(rest) != _HEADER.size - 8:
+                raise TraceError(f"{path}: truncated trace header")
+            (metadata_length, event_count,
+             metadata_crc, pc_crc, target_crc) = struct.unpack("<IIIII", rest)
+            checksummed = True
+            header_size = _HEADER.size
+        elif magic == _MAGIC_V1:
+            rest = stream.read(_HEADER_V1.size - 8)
+            if len(rest) != _HEADER_V1.size - 8:
+                raise TraceError(f"{path}: truncated trace header")
+            metadata_length, event_count = struct.unpack("<II", rest)
+            metadata_crc = pc_crc = target_crc = 0
+            checksummed = False
+            header_size = _HEADER_V1.size
+        else:
             raise TraceError(f"{path}: not a repro trace file (bad magic {magic!r})")
         metadata_blob = stream.read(metadata_length)
         if len(metadata_blob) != metadata_length:
             raise TraceError(f"{path}: truncated metadata block")
+        if checksummed:
+            _check_crc(path, "metadata", metadata_blob, metadata_crc)
         try:
             metadata = _metadata_from_dict(json.loads(metadata_blob.decode("utf-8")))
         except (ValueError, KeyError) as exc:
@@ -86,6 +167,16 @@ def load_trace(path: PathLike) -> Trace:
         target_blob = stream.read(column_bytes)
         if len(pc_blob) != column_bytes or len(target_blob) != column_bytes:
             raise TraceError(f"{path}: truncated event columns")
+        if checksummed:
+            _check_crc(path, "pc column", pc_blob, pc_crc)
+            _check_crc(path, "target column", target_blob, target_crc)
+        trailing = stream.read()
+        if trailing:
+            offset = header_size + metadata_length + 2 * column_bytes
+            raise TraceError(
+                f"{path}: {len(trailing)} byte(s) of trailing garbage after "
+                f"the event columns (starting at byte offset {offset})"
+            )
         pcs.frombytes(pc_blob)
         targets.frombytes(target_blob)
     trace = Trace(array("L", pcs), array("L", targets), metadata)

@@ -45,3 +45,55 @@ class TestCommands:
 
         with pytest.raises(ConfigError):
             main(["simulate", "nonsense:spec"])
+
+    def test_trace_creates_parent_directories(self, tmp_path, capsys):
+        path = tmp_path / "deep" / "nested" / "t.bin"
+        assert main(["trace", "xlisp", str(path), "--scale", "0.01"]) == 0
+        assert len(load_trace(path)) > 0
+
+    def test_trace_unwritable_path_exits_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        target = blocker / "sub" / "t.bin"
+        assert main(["trace", "xlisp", str(target), "--scale", "0.01"]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+
+    def test_experiments_out_unwritable_exits_cleanly(self, tmp_path, capsys):
+        blocker = tmp_path / "file"
+        blocker.write_text("not a directory")
+        assert main(["experiments", "fig2", "--out", str(blocker / "sub")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCheckpointedExperiments:
+    def test_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--resume"])
+
+    def test_checkpoint_then_resume_skips_simulation(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        checkpoint = tmp_path / "ckpt"
+        assert main(["experiments", "fig2",
+                     "--checkpoint-dir", str(checkpoint)]) == 0
+        first_output = capsys.readouterr().out
+        assert "fig2" in first_output
+        journal = checkpoint / "results.jsonl"
+        assert journal.exists()
+        journal_size = journal.stat().st_size
+        assert (checkpoint / "traces").is_dir()
+
+        # "New process", every simulation booby-trapped: --resume must
+        # complete fig2 purely from the journal.
+        def boom(*args, **kwargs):
+            raise AssertionError("resume re-ran a completed simulation")
+
+        monkeypatch.setattr("repro.sim.suite_runner.simulate", boom)
+        assert main(["experiments", "fig2",
+                     "--checkpoint-dir", str(checkpoint), "--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resuming" in captured.err
+        assert "fig2" in captured.out
+        assert journal.stat().st_size == journal_size  # nothing re-journalled

@@ -1,0 +1,176 @@
+"""Tests for the validated on-disk trace cache and corruption recovery.
+
+Includes the fuzz test required by the robustness issue: every random
+single-byte flip and every truncation of a saved trace must be *detected*
+(load raises ``TraceError``) and *survived* (``SuiteRunner`` regenerates
+instead of crashing).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import TraceError
+from repro.runtime import TraceCache, corrupt_file, truncate_file
+from repro.sim.suite_runner import SuiteRunner
+from repro.workloads import (
+    Trace,
+    TraceMetadata,
+    WorkloadConfig,
+    generate_trace,
+    load_trace,
+    save_trace,
+)
+
+
+@pytest.fixture(scope="module")
+def unit_trace():
+    return generate_trace(WorkloadConfig(name="unit", events=2000, seed=7))
+
+
+class TestTraceCache:
+    def test_miss_then_store_then_hit(self, tmp_path, unit_trace):
+        cache = TraceCache(tmp_path / "cache")
+        assert cache.load("unit") is None
+        cache.store("unit", unit_trace)
+        loaded = cache.load("unit")
+        assert loaded is not None
+        assert list(loaded) == list(unit_trace)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.stores == 1
+
+    def test_corrupt_file_is_quarantined_and_reported_as_miss(
+        self, tmp_path, unit_trace
+    ):
+        cache = TraceCache(tmp_path)
+        path = cache.store("unit", unit_trace)
+        corrupt_file(path, offset=40)
+        assert cache.load("unit") is None
+        assert cache.stats.corruptions == 1
+        assert cache.stats.corruption_log[0][0] == "unit"
+        assert not path.exists()  # moved aside
+        assert path.with_suffix(".corrupt").exists()
+        # After a re-store the cache serves clean bytes again.
+        cache.store("unit", unit_trace)
+        assert cache.load("unit") is not None
+
+    def test_keys_incorporate_scale(self):
+        assert TraceCache.key("perl", None) == "perl"
+        assert TraceCache.key("perl", 0.5) == "perl@x0.5"
+        assert TraceCache.key("perl", 0.5) != TraceCache.key("perl", 0.25)
+
+    def test_scale_key_tracks_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "2")
+        assert TraceCache.key("perl", None) == "perl@x2"
+        assert TraceCache.key("perl", 0.5) == "perl"
+
+
+class TestSuiteRunnerCacheIntegration:
+    def test_second_runner_loads_from_disk(self, tmp_path):
+        first = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                            cache_dir=tmp_path / "cache")
+        trace = first.trace("perl")
+
+        def no_generation(*args, **kwargs):
+            raise AssertionError("trace should have come from the disk cache")
+
+        second = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                             cache_dir=tmp_path / "cache",
+                             generate_fn=no_generation)
+        assert list(second.trace("perl")) == list(trace)
+        assert second.trace_cache.stats.hits == 1
+
+    def test_corrupt_cache_regenerates_transparently(self, tmp_path):
+        first = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                            cache_dir=tmp_path / "cache")
+        trace = first.trace("perl")
+        path = first.trace_cache.path_for(first.trace_cache.key("perl", 0.05))
+        corrupt_file(path, offset=100)
+
+        second = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                             cache_dir=tmp_path / "cache")
+        regenerated = second.trace("perl")
+        assert list(regenerated) == list(trace)  # deterministic workload
+        assert second.trace_cache.stats.corruptions == 1
+        # The clean trace was rewritten: a third runner gets a disk hit.
+        third = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                            cache_dir=tmp_path / "cache")
+        assert list(third.trace("perl")) == list(trace)
+        assert third.trace_cache.stats.hits == 1
+
+    def test_truncated_cache_regenerates_transparently(self, tmp_path):
+        runner = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                             cache_dir=tmp_path / "cache")
+        runner.trace("perl")
+        path = runner.trace_cache.path_for(runner.trace_cache.key("perl", 0.05))
+        truncate_file(path, keep_bytes=path.stat().st_size // 2)
+
+        second = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                             cache_dir=tmp_path / "cache")
+        assert len(second.trace("perl")) > 0
+        assert second.trace_cache.stats.corruptions == 1
+
+
+class TestCorruptionFuzz:
+    """Satellite: checksums must catch *every* byte flip and truncation."""
+
+    def test_every_byte_flip_is_detected(self, tmp_path, unit_trace):
+        path = tmp_path / "t.trace"
+        save_trace(unit_trace, path)
+        pristine = path.read_bytes()
+        rng = random.Random(0xC0FFEE)
+        for _ in range(64):
+            offset = rng.randrange(len(pristine))
+            xor = rng.randrange(1, 256)  # non-zero: guaranteed mutation
+            corrupt_file(path, offset=offset, xor=xor)
+            with pytest.raises(TraceError):
+                load_trace(path)
+            path.write_bytes(pristine)
+
+    def test_every_truncation_is_detected(self, tmp_path, unit_trace):
+        path = tmp_path / "t.trace"
+        save_trace(unit_trace, path)
+        pristine = path.read_bytes()
+        rng = random.Random(0xBEEF)
+        for _ in range(32):
+            keep = rng.randrange(len(pristine))
+            truncate_file(path, keep_bytes=keep)
+            with pytest.raises(TraceError):
+                load_trace(path)
+            path.write_bytes(pristine)
+
+    def test_every_appended_byte_is_detected(self, tmp_path, unit_trace):
+        path = tmp_path / "t.trace"
+        save_trace(unit_trace, path)
+        pristine = path.read_bytes()
+        rng = random.Random(0xF00D)
+        for _ in range(16):
+            extra = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+            path.write_bytes(pristine + extra)
+            with pytest.raises(TraceError, match="trailing garbage"):
+                load_trace(path)
+
+    def test_fuzzed_runner_always_recovers(self, tmp_path):
+        """Flip a random byte of the cached trace; the runner must never
+        crash and must always return the canonical regenerated trace."""
+        canonical = None
+        rng = random.Random(1234)
+        for round_number in range(8):
+            cache_dir = tmp_path / f"round{round_number}"
+            runner = SuiteRunner(benchmarks=("jhm",), scale=0.05,
+                                 cache_dir=cache_dir)
+            trace = runner.trace("jhm")
+            if canonical is None:
+                canonical = list(trace)
+            path = runner.trace_cache.path_for(
+                runner.trace_cache.key("jhm", 0.05))
+            size = path.stat().st_size
+            if round_number % 2 == 0:
+                corrupt_file(path, offset=rng.randrange(size),
+                             xor=rng.randrange(1, 256))
+            else:
+                truncate_file(path, keep_bytes=rng.randrange(size))
+            recovered = SuiteRunner(benchmarks=("jhm",), scale=0.05,
+                                    cache_dir=cache_dir)
+            assert list(recovered.trace("jhm")) == canonical

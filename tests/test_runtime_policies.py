@@ -1,0 +1,115 @@
+"""Unit tests for the execution-policy layer (deadlines, retries, context)."""
+
+import pytest
+
+from repro.errors import ConfigError, DeadlineError, ReproError, SimulationError
+from repro.runtime import ExecutionPolicy, FakeClock, FaultInjectedError, run_with_policy
+from repro.runtime.faults import FlakyCallable, SlowCallable
+
+
+class TestExecutionPolicyValidation:
+    def test_rejects_zero_attempts(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(max_attempts=0)
+
+    def test_rejects_non_positive_deadline(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(deadline=0)
+
+    def test_rejects_negative_backoff(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(backoff=-1)
+
+
+class TestRetries:
+    def test_transient_failures_are_retried(self):
+        clock = FakeClock()
+        work = FlakyCallable(lambda: 42, fail_on=(1, 2))
+        policy = ExecutionPolicy(
+            max_attempts=3, backoff=0.5, clock=clock, sleep=clock.sleep
+        )
+        assert run_with_policy(work, policy) == 42
+        assert work.calls == 3
+        assert work.injected == 2
+
+    def test_backoff_doubles_between_attempts(self):
+        clock = FakeClock()
+        work = FlakyCallable(lambda: "ok", fail_on=(1, 2))
+        policy = ExecutionPolicy(
+            max_attempts=3, backoff=0.25, clock=clock, sleep=clock.sleep
+        )
+        run_with_policy(work, policy)
+        assert clock.sleeps == [0.25, 0.5]
+
+    def test_exhausted_retries_raise_with_context(self):
+        clock = FakeClock()
+        work = FlakyCallable(lambda: None, fail_on=(1, 2, 3))
+        policy = ExecutionPolicy(max_attempts=3, clock=clock, sleep=clock.sleep)
+        with pytest.raises(FaultInjectedError) as excinfo:
+            run_with_policy(work, policy, context={"benchmark": "perl"})
+        assert excinfo.value.context["attempt"] == 3
+        assert excinfo.value.context["max_attempts"] == 3
+        assert excinfo.value.context["benchmark"] == "perl"
+        assert "benchmark='perl'" in str(excinfo.value)
+
+    def test_no_retry_by_default(self):
+        work = FlakyCallable(lambda: None, fail_on=(1,))
+        with pytest.raises(FaultInjectedError):
+            run_with_policy(work, ExecutionPolicy())
+        assert work.calls == 1
+
+    def test_non_retryable_errors_propagate_immediately(self):
+        calls = []
+
+        def work():
+            calls.append(1)
+            raise ConfigError("bad config")
+
+        policy = ExecutionPolicy(max_attempts=3, clock=FakeClock(), sleep=lambda s: None)
+        with pytest.raises(ConfigError) as excinfo:
+            run_with_policy(work, policy, context={"config": "x"})
+        assert len(calls) == 1
+        assert excinfo.value.context["config"] == "x"
+
+
+class TestDeadlines:
+    def test_slow_work_raises_deadline_error(self):
+        clock = FakeClock()
+        work = SlowCallable(lambda: "slow result", delay=5.0, clock=clock)
+        policy = ExecutionPolicy(deadline=1.0, clock=clock, sleep=clock.sleep)
+        with pytest.raises(DeadlineError) as excinfo:
+            run_with_policy(work, policy, context={"benchmark": "ixx"})
+        assert excinfo.value.context["elapsed"] == pytest.approx(5.0)
+        assert excinfo.value.context["benchmark"] == "ixx"
+
+    def test_deadline_errors_are_not_retried(self):
+        clock = FakeClock()
+        work = SlowCallable(lambda: None, delay=5.0, clock=clock)
+        policy = ExecutionPolicy(
+            deadline=1.0, max_attempts=4, clock=clock, sleep=clock.sleep
+        )
+        with pytest.raises(DeadlineError):
+            run_with_policy(work, policy)
+        assert work.calls == 1
+
+    def test_fast_work_passes_deadline(self):
+        clock = FakeClock()
+        work = SlowCallable(lambda: 7, delay=0.5, clock=clock)
+        policy = ExecutionPolicy(deadline=1.0, clock=clock, sleep=clock.sleep)
+        assert run_with_policy(work, policy) == 7
+
+    def test_deadline_error_is_a_simulation_error(self):
+        assert issubclass(DeadlineError, SimulationError)
+        assert issubclass(DeadlineError, ReproError)
+
+
+class TestErrorContext:
+    def test_with_context_chains_and_renders(self):
+        error = SimulationError("boom").with_context(benchmark="perl", attempt=2)
+        assert error.context == {"benchmark": "perl", "attempt": 2}
+        assert "boom" in str(error)
+        assert "attempt=2" in str(error)
+
+    def test_context_empty_by_default(self):
+        assert SimulationError("plain").context == {}
+        assert str(SimulationError("plain")) == "plain"

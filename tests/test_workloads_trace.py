@@ -101,6 +101,73 @@ class TestBinaryIO:
         with pytest.raises(TraceError):
             load_trace(path)
 
+    def test_oversized_address_raises_trace_error(self, tmp_path):
+        # array('L') can hold 64-bit values; the 32-bit binary format must
+        # reject them as a TraceError, not a bare OverflowError.
+        trace = Trace([1 << 40], [0x2000], TraceMetadata(name="wide"))
+        path = tmp_path / "wide.bin"
+        with pytest.raises(TraceError, match="32-bit"):
+            save_trace(trace, path)
+        assert not path.exists()  # nothing half-written left behind
+
+    def test_trailing_garbage_rejected_with_offset(self, tmp_path):
+        trace = make_trace(events=8)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        clean_size = path.stat().st_size
+        path.write_bytes(path.read_bytes() + b"JUNK")
+        with pytest.raises(TraceError) as excinfo:
+            load_trace(path)
+        message = str(excinfo.value)
+        assert "trailing garbage" in message
+        assert str(clean_size) in message  # byte offset where garbage starts
+        assert "4 byte(s)" in message
+
+    def test_checksum_flip_rejected(self, tmp_path):
+        trace = make_trace(events=50)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0x10  # a bit deep inside the target column
+        path.write_bytes(bytes(data))
+        with pytest.raises(TraceError, match="checksum mismatch"):
+            load_trace(path)
+
+    def test_legacy_v1_files_still_load(self, tmp_path):
+        import json as json_module
+        import struct
+        from array import array
+
+        trace = make_trace(events=4)
+        metadata_blob = json_module.dumps({"name": "legacy"}).encode()
+        payload = struct.pack(
+            "<8sII", b"REPROTR1", len(metadata_blob), len(trace)
+        ) + metadata_blob + array("I", trace.pcs).tobytes() + \
+            array("I", trace.targets).tobytes()
+        path = tmp_path / "v1.bin"
+        path.write_bytes(payload)
+        loaded = load_trace(path)
+        assert loaded.name == "legacy"
+        assert list(loaded) == list(trace)
+
+    def test_legacy_v1_trailing_garbage_rejected(self, tmp_path):
+        import json as json_module
+        import struct
+
+        metadata_blob = json_module.dumps({"name": "legacy"}).encode()
+        payload = struct.pack("<8sII", b"REPROTR1", len(metadata_blob), 0)
+        path = tmp_path / "v1.bin"
+        path.write_bytes(payload + metadata_blob + b"\x00")
+        with pytest.raises(TraceError, match="trailing garbage"):
+            load_trace(path)
+
+    def test_save_is_atomic_no_temp_residue(self, tmp_path):
+        trace = make_trace(events=10)
+        save_trace(trace, tmp_path / "trace.bin")
+        save_trace(trace, tmp_path / "trace.bin")  # overwrite in place
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["trace.bin"]
+        assert list(load_trace(tmp_path / "trace.bin")) == list(trace)
+
 
 class TestTextIO:
     def test_roundtrip(self, tmp_path):
