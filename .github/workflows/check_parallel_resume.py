@@ -1,0 +1,36 @@
+"""CI assertion: a resumed parallel run re-executed no journalled unit.
+
+Run from the repo root after the parallel-crash-resume-smoke steps, with
+the journal line count *at kill time* (header included) as argv[1].
+Checks the journal in ``ckpt/results.jsonl`` and the run metrics in
+``metrics.json``.
+"""
+
+import json
+import sys
+
+
+def main() -> None:
+    lines_at_kill = int(sys.argv[1])
+
+    lines = open("ckpt/results.jsonl").read().splitlines()
+    assert "repro-checkpoint" in lines[0], "journal header missing"
+    pairs = [(record["config"], record["benchmark"])
+             for record in map(json.loads, lines[1:])]
+    assert len(pairs) == len(set(pairs)), "duplicate journal entries"
+
+    metrics = json.load(open("metrics.json"))
+    assert metrics["schema"] == "repro-run-metrics/1"
+    assert metrics["units"]["poisoned"] == 0
+
+    # Every unit that survived the kill came back from the checkpoint
+    # instead of re-executing.
+    replayed = metrics["units"]["from_checkpoint"]
+    survived = lines_at_kill - 1  # minus the header line
+    print(f"units journalled before the kill: {survived}")
+    print(f"units replayed from checkpoint:   {replayed}")
+    assert replayed >= survived, (replayed, survived)
+
+
+if __name__ == "__main__":
+    main()

@@ -14,6 +14,14 @@ Subcommands:
 ``simulate SPEC [BENCHMARKS...]``
     Simulate one predictor spec (see :mod:`repro.core.factory`) over the
     suite and print per-benchmark and group misprediction rates.
+    Supports the same ``--scale``, ``--checkpoint-dir``/``--resume``,
+    ``--workers`` and ``--metrics-out`` options as ``experiments``.
+
+Both simulation subcommands accept ``--workers N`` (default 1) to run
+the (config, benchmark) work units on a crash-recovering worker pool —
+results are bit-identical to serial runs — and ``--metrics-out FILE``
+to write the run's JSON metrics record (per-unit wall times, queue
+depth, worker utilisation, trace-cache hits/misses).
 
 ``trace BENCHMARK FILE``
     Generate a benchmark trace and write it to ``FILE`` (binary format, or
@@ -23,6 +31,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -31,38 +40,87 @@ from .core.factory import config_from_spec
 from .experiments import experiment_ids, run_experiment
 from .experiments.base import checkpointed_runner
 from .sim.reporting import format_table
-from .sim.suite_runner import shared_runner
+from .sim.suite_runner import SuiteRunner, shared_runner
 from .workloads import generate_trace, save_trace, save_trace_text, workload_config
 from .workloads.suite import GROUPS, benchmark_names
 
 
-def _cmd_experiments(args: argparse.Namespace) -> int:
-    ids = args.ids or experiment_ids()
+def _make_runner(args: argparse.Namespace) -> SuiteRunner:
+    """The runner implied by the shared simulation flags.
+
+    ``--checkpoint-dir`` always builds a durable runner; ``--workers`` /
+    ``--scale`` need a dedicated runner too (the process-wide shared one
+    is serial and unscaled); otherwise the shared runner is reused so
+    repeated CLI calls in one process share traces.
+    """
+    scale = getattr(args, "scale", None)
+    workers = getattr(args, "workers", 1)
     if args.checkpoint_dir:
-        runner = checkpointed_runner(args.checkpoint_dir, resume=args.resume)
+        runner = checkpointed_runner(
+            args.checkpoint_dir, resume=args.resume, scale=scale, workers=workers,
+        )
         if args.resume and len(runner.checkpoint):
             print(f"resuming: {len(runner.checkpoint)} checkpointed "
                   f"simulation(s) will not be re-run", file=sys.stderr)
-    else:
-        runner = shared_runner()
+        return runner
+    if workers > 1 or scale is not None:
+        return SuiteRunner(scale=scale, workers=workers)
+    return shared_runner()
+
+
+def _write_metrics(runner: SuiteRunner, path: Optional[str]) -> None:
+    if not path:
+        return
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(
+        json.dumps(runner.metrics_summary(), indent=2, sort_keys=True) + "\n"
+    )
+
+
+def _add_runner_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every subcommand that simulates over the suite."""
+    parser.add_argument("--checkpoint-dir",
+                        help="directory for the crash-safe trace cache "
+                             "and result journal")
+    parser.add_argument("--resume", action="store_true",
+                        help="replay the journal in --checkpoint-dir and "
+                             "skip completed simulations")
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for (config, benchmark) "
+                             "work units (default: 1 = serial; results "
+                             "are bit-identical either way)")
+    parser.add_argument("--metrics-out", metavar="FILE",
+                        help="write the run's JSON metrics record "
+                             "(unit wall times, queue depth, worker "
+                             "utilisation, cache hits/misses)")
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    ids = args.ids or experiment_ids()
+    runner = _make_runner(args)
     out_dir: Optional[Path] = Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
-    for experiment_id in ids:
-        result = run_experiment(experiment_id, runner=runner, quick=not args.full)
-        rendering = result.render()
-        print(rendering)
-        print()
-        if out_dir is not None:
-            (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
+    try:
+        for experiment_id in ids:
+            result = run_experiment(experiment_id, runner=runner, quick=not args.full)
+            rendering = result.render()
+            print(rendering)
+            print()
+            if out_dir is not None:
+                (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
+    finally:
+        _write_metrics(runner, args.metrics_out)
     return 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = config_from_spec(args.spec)
-    runner = shared_runner()
+    runner = _make_runner(args)
     names = args.benchmarks or list(benchmark_names())
     rates = runner.rates_with_groups(config, names)
+    _write_metrics(runner, args.metrics_out)
     rows = [[name, round(rate, 2)] for name, rate in rates.items()
             if name not in GROUPS]
     rows += [[name, round(rate, 2)] for name, rate in rates.items()
@@ -99,18 +157,16 @@ def build_parser() -> argparse.ArgumentParser:
     experiments.add_argument("--full", action="store_true",
                              help="run the paper's full parameter grids")
     experiments.add_argument("--out", help="directory for rendered results")
-    experiments.add_argument("--checkpoint-dir",
-                             help="directory for the crash-safe trace cache "
-                                  "and result journal")
-    experiments.add_argument("--resume", action="store_true",
-                             help="replay the journal in --checkpoint-dir and "
-                                  "skip completed simulations")
+    _add_runner_options(experiments)
     experiments.set_defaults(handler=_cmd_experiments)
 
     simulate = subparsers.add_parser(
         "simulate", help="simulate one predictor spec over the suite")
     simulate.add_argument("spec", help='e.g. "hybrid:p1=3,p2=1,entries=1024,assoc=4"')
     simulate.add_argument("benchmarks", nargs="*", help="benchmark subset")
+    simulate.add_argument("--scale", type=float, default=None,
+                          help="trace length multiplier")
+    _add_runner_options(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     trace = subparsers.add_parser("trace", help="generate and save a trace")
@@ -127,6 +183,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         parser.error("--resume requires --checkpoint-dir")
+    if getattr(args, "workers", 1) < 1:
+        parser.error("--workers must be >= 1")
     try:
         return args.handler(args)
     except OSError as exc:

@@ -107,6 +107,7 @@ def checkpointed_runner(
     benchmarks: Optional[List[str]] = None,
     scale: Optional[float] = None,
     policy: Optional[object] = None,
+    workers: int = 1,
 ):
     """A :class:`~repro.sim.suite_runner.SuiteRunner` with durability.
 
@@ -121,6 +122,10 @@ def checkpointed_runner(
     pairs are never re-simulated; otherwise any previous journal is
     truncated and the run starts fresh (the trace cache is always kept —
     traces are deterministic per benchmark + scale).
+
+    ``workers`` > 1 runs batch lookups on the parallel worker pool; the
+    pool's workers load traces from the same ``traces/`` cache and the
+    parent journals streamed results, so parallel runs stay resumable.
     """
     from ..runtime.checkpoint import CheckpointJournal
     from ..sim.suite_runner import SuiteRunner
@@ -134,4 +139,5 @@ def checkpointed_runner(
         cache_dir=directory / "traces",
         checkpoint=journal,
         policy=policy,
+        workers=workers,
     )

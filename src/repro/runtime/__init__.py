@@ -11,6 +11,12 @@ sweeps survivable:
   run resumes where it stopped;
 * :mod:`repro.runtime.policies` — per-simulation deadline and bounded
   retry-with-backoff, attaching structured error context;
+* :mod:`repro.runtime.scheduler` — work-unit decomposition, the pure
+  pending/in-flight/poisoned scheduling core, and :class:`RunMetrics`
+  observability records;
+* :mod:`repro.runtime.parallel` — :class:`ParallelExecutor`, a
+  crash-recovering ``multiprocessing`` worker pool that streams results
+  back for incremental journalling;
 * :mod:`repro.runtime.faults` — deterministic fault injection used by the
   tests to prove the degradation paths work.
 """
@@ -25,7 +31,9 @@ from .faults import (
     corrupt_file,
     truncate_file,
 )
+from .parallel import ParallelExecutor
 from .policies import ExecutionPolicy, run_with_policy
+from .scheduler import RunMetrics, Scheduler, WorkUnit
 
 __all__ = [
     "CheckpointJournal",
@@ -33,8 +41,12 @@ __all__ = [
     "FakeClock",
     "FaultInjectedError",
     "FlakyCallable",
+    "ParallelExecutor",
+    "RunMetrics",
+    "Scheduler",
     "SlowCallable",
     "TraceCache",
+    "WorkUnit",
     "config_key",
     "corrupt_file",
     "run_with_policy",

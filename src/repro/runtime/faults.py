@@ -13,14 +13,27 @@ must survive, deterministically, so tests can assert on exact behaviour.
 * **Slowness** — :class:`SlowCallable` advances a :class:`FakeClock` by a
   configured amount per call, driving deadline policies without real
   sleeping.
+* **Worker death / hangs** — :func:`maybe_crash_worker` and
+  :func:`maybe_hang_worker` are environment-armed hooks called by the
+  parallel pool's worker loop: tests arm them with a unit-label pattern
+  and an on-disk "ticket" path so a chosen work unit SIGKILLs (or wedges)
+  its worker a deterministic number of times across processes.
 """
 
 from __future__ import annotations
 
+import os
+import signal
+import time
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 from ..errors import SimulationError
+
+#: Arms :func:`maybe_crash_worker`: ``"<label substring>@<ticket path>[@times]"``.
+CRASH_ENV_VAR = "REPRO_PARALLEL_CRASH"
+#: Arms :func:`maybe_hang_worker` with the same spec format.
+HANG_ENV_VAR = "REPRO_PARALLEL_HANG"
 
 PathLike = Union[str, Path]
 
@@ -115,3 +128,56 @@ def truncate_file(path: PathLike, keep_bytes: int) -> None:
     path = Path(path)
     data = path.read_bytes()
     path.write_bytes(data[:max(0, keep_bytes)])
+
+
+def fire_once(flag_path: PathLike) -> bool:
+    """Atomically claim a one-shot fault ticket (``O_CREAT | O_EXCL``).
+
+    ``True`` exactly once per path across any number of processes, which
+    is what lets an injected worker crash fire on the first attempt and
+    let the requeued attempt succeed.
+    """
+    try:
+        fd = os.open(str(flag_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
+
+
+def _spec_fires(spec: str, label: str) -> bool:
+    """Whether an armed ``target@ticket[@times]`` spec fires for ``label``."""
+    parts = spec.split("@")
+    if len(parts) < 2:
+        raise ValueError(
+            f"fault spec must be '<label substring>@<ticket path>[@times]', got {spec!r}"
+        )
+    target, ticket = parts[0], parts[1]
+    times = int(parts[2]) if len(parts) > 2 else 1
+    if target not in label:
+        return False
+    return any(fire_once(f"{ticket}.{index}") for index in range(times))
+
+
+def maybe_crash_worker(label: str) -> None:
+    """SIGKILL this process if :data:`CRASH_ENV_VAR` is armed for ``label``.
+
+    Called by the parallel worker loop before each simulation; a no-op
+    unless a test armed the environment variable.  SIGKILL (not an
+    exception) models an OOM-killed worker: no cleanup handlers run and
+    no error message is reported, so the parent must detect the death.
+    """
+    spec = os.environ.get(CRASH_ENV_VAR)
+    if spec and _spec_fires(spec, label):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def maybe_hang_worker(label: str, seconds: float = 3600.0) -> None:
+    """Wedge this process if :data:`HANG_ENV_VAR` is armed for ``label``.
+
+    Models a pathologically slow or deadlocked simulation; the parent's
+    deadline watchdog must kill and requeue it.
+    """
+    spec = os.environ.get(HANG_ENV_VAR)
+    if spec and _spec_fires(spec, label):
+        time.sleep(seconds)

@@ -1,0 +1,450 @@
+"""Parallel sweep execution over a ``multiprocessing`` worker pool.
+
+:class:`ParallelExecutor` runs a batch of independent
+:class:`~repro.runtime.scheduler.WorkUnit`\\ s — one ``(config,
+benchmark)`` simulation each — across worker processes and streams
+completed :class:`~repro.sim.engine.SimulationResult`\\ s back to the
+parent as they finish, so the caller can journal them incrementally and a
+killed parent loses at most the units in flight.
+
+Design points:
+
+* **Traces are shared through the on-disk cache, not pickled.**  The
+  parent pre-generates every needed trace into the validated
+  :class:`~repro.runtime.cache.TraceCache` once; workers memoise loads
+  per process.  Task messages carry only the (small, frozen) predictor
+  config, so dispatch cost is independent of trace length.
+* **One unit in flight per worker.**  The parent assigns units one at a
+  time over per-worker queues and records exactly which unit each worker
+  holds, so a crashed worker's loss is precise: its unit is requeued (up
+  to the :class:`~repro.runtime.policies.ExecutionPolicy` retry budget)
+  and a replacement worker is spawned.
+* **Crash and hang detection.**  A worker that dies (SIGKILL, OOM,
+  segfault) is noticed by liveness polling; a worker that exceeds the
+  policy deadline on one unit is SIGKILLed by the watchdog and treated
+  the same.  A unit that fails on every attempt is *poisoned*: the pool
+  keeps draining the remaining units and the failure is raised at the end
+  with structured :attr:`~repro.errors.ReproError.context`.
+* **Determinism.**  Simulation is a pure function of (config, benchmark,
+  scale) — traces are seeded — so parallel results are bit-identical to
+  serial ones regardless of completion order.
+
+Workers exit on a ``None`` sentinel, and also when orphaned (the parent
+pid changes), so a SIGKILLed parent never leaks a pool that would pin CI
+pipes open.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import sys
+import time
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..errors import SimulationError
+from .cache import TraceCache
+from .policies import ExecutionPolicy
+from .scheduler import POISONED, RunMetrics, Scheduler, WorkUnit
+
+#: Parent loop poll interval and the workers' orphan-check interval.
+_POLL_SECONDS = 0.05
+_WORKER_POLL_SECONDS = 2.0
+#: Grace period for workers to drain the stop sentinel at shutdown.
+_SHUTDOWN_GRACE_SECONDS = 2.0
+#: Per-unit attempt budget when no explicit policy is supplied: a pool
+#: must survive environmentally-killed workers (OOM, preemption) without
+#: the caller opting in to retries.
+DEFAULT_PARALLEL_ATTEMPTS = 3
+
+
+def _worker_main(
+    worker_id: int,
+    parent_pid: int,
+    cache_dir: str,
+    scale: Optional[float],
+    task_queue: "multiprocessing.Queue",
+    result_queue: "multiprocessing.Queue",
+) -> None:
+    """Worker loop: pull (unit_id, config, benchmark), simulate, report.
+
+    Messages back to the parent::
+
+        ("ok",  worker_id, unit_id, SimulationResult, trace_source, seconds)
+        ("err", worker_id, unit_id, error_type_name, error_message, seconds)
+
+    ``trace_source`` records where the trace came from (``memo`` — this
+    worker's per-process memo, ``cache`` — the shared on-disk cache,
+    ``generated`` — regenerated after a cache miss/corruption), feeding
+    the run's cache hit/miss metrics.
+    """
+    from ..core.factory import build_predictor
+    from ..sim.engine import simulate
+    from ..workloads.program import generate_trace
+    from ..workloads.suite import workload_config
+    from .faults import maybe_crash_worker, maybe_hang_worker
+
+    cache = TraceCache(cache_dir)
+    traces: Dict[str, object] = {}
+    while True:
+        try:
+            item = task_queue.get(timeout=_WORKER_POLL_SECONDS)
+        except queue.Empty:
+            if os.getppid() != parent_pid:  # orphaned: parent was killed
+                return
+            continue
+        if item is None:
+            return
+        unit_id, config, benchmark = item
+        label = f"{getattr(config, 'label', config)}/{benchmark}"
+        start = time.perf_counter()
+        try:
+            maybe_crash_worker(label)
+            maybe_hang_worker(label)
+            trace = traces.get(benchmark)
+            source = "memo"
+            if trace is None:
+                trace = cache.load(cache.key(benchmark, scale))
+                source = "cache"
+            if trace is None:
+                # The parent pre-warms the cache, so this is the corruption
+                # (or races-with-eviction) path: regenerate and re-store.
+                trace = generate_trace(workload_config(benchmark, scale))
+                cache.store(cache.key(benchmark, scale), trace)
+                source = "generated"
+            traces[benchmark] = trace
+            result = simulate(build_predictor(config), trace)
+        except Exception as exc:  # reported, requeued/poisoned by the parent
+            result_queue.put((
+                "err", worker_id, unit_id,
+                type(exc).__name__, str(exc),
+                time.perf_counter() - start,
+            ))
+            continue
+        result_queue.put((
+            "ok", worker_id, unit_id, result, source,
+            time.perf_counter() - start,
+        ))
+
+
+class _WorkerHandle:
+    """Parent-side state for one live worker process."""
+
+    def __init__(self, worker_id: int, process: "multiprocessing.Process",
+                 task_queue: "multiprocessing.Queue") -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.task_queue = task_queue
+        self.unit: Optional[WorkUnit] = None
+        self.started_at: float = 0.0
+
+    @property
+    def busy(self) -> bool:
+        return self.unit is not None
+
+    def assign(self, unit: WorkUnit) -> None:
+        self.unit = unit
+        self.started_at = time.perf_counter()
+        self.task_queue.put((unit.unit_id, unit.config, unit.benchmark))
+
+
+class _Progress:
+    """Live stderr progress line (``\\r``-updated on a tty, sparse otherwise)."""
+
+    def __init__(self, total: int, enabled: bool = True) -> None:
+        self.total = total
+        self.stream = sys.stderr
+        self.enabled = enabled and total > 0
+        self.is_tty = self.enabled and self.stream.isatty()
+        self.step = max(1, total // 10)
+        self.last_reported = -1
+        self.last_write = 0.0
+        self.dirty = False
+        self.started_at = time.perf_counter()
+
+    def update(self, scheduler: Scheduler, busy: int, workers: int) -> None:
+        if not self.enabled:
+            return
+        done = scheduler.completed_count
+        if self.is_tty:
+            # Redraw on completion-count changes, throttled to ~4 Hz.
+            now = time.perf_counter()
+            if done == self.last_reported and now - self.last_write < 0.25:
+                return
+            self.last_write = now
+        else:
+            # Non-tty (CI logs): one line per ~10% of the run plus the end.
+            if done == self.last_reported:
+                return
+            if done % self.step != 0 and done != self.total:
+                return
+        self.last_reported = done
+        elapsed = max(time.perf_counter() - self.started_at, 1e-9)
+        line = (
+            f"[parallel] {done}/{self.total} units | {busy}/{workers} busy | "
+            f"queue {scheduler.pending_depth} | requeued {scheduler.requeues} | "
+            f"{done / elapsed:.1f} unit/s"
+        )
+        if self.is_tty:
+            self.stream.write("\r" + line.ljust(78))
+            self.dirty = True
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+    def close(self) -> None:
+        if self.dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+
+
+class ParallelExecutor:
+    """Runs work units over a pool of simulation worker processes.
+
+    Args:
+        workers: worker process count (must be >= 1).
+        trace_cache: the shared on-disk cache workers load traces from
+            (a :class:`TraceCache` or a directory path).
+        scale: trace-length scale forwarded to cache keys / regeneration;
+            must match the runner that pre-warmed the cache.
+        policy: retry budget (``max_attempts``) for crashed/failed units
+            and the per-unit ``deadline`` used by the hang watchdog.  When
+            omitted, the pool defaults to
+            ``max_attempts=DEFAULT_PARALLEL_ATTEMPTS`` — unlike the serial
+            path, a worker can die to environmental causes (OOM kill,
+            node preemption) that say nothing about the unit itself, so a
+            parallel run must survive a lost worker out of the box.  Pass
+            an explicit policy to restore fail-fast semantics.
+        metrics: a :class:`RunMetrics` to accumulate into (one per run;
+            shared across several ``run()`` calls by the suite runner).
+        progress: emit the live stderr progress line (default on).
+        mp_context: ``multiprocessing`` context override (tests).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        trace_cache: "TraceCache | str",
+        scale: Optional[float] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        metrics: Optional[RunMetrics] = None,
+        progress: bool = True,
+        mp_context: Optional[object] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.trace_cache = (
+            trace_cache if isinstance(trace_cache, TraceCache)
+            else TraceCache(trace_cache)
+        )
+        self.scale = scale
+        self.policy = policy or ExecutionPolicy(
+            max_attempts=DEFAULT_PARALLEL_ATTEMPTS
+        )
+        self.metrics = metrics if metrics is not None else RunMetrics()
+        self.progress_enabled = progress
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._next_worker_id = 0
+
+    # -- pool plumbing -------------------------------------------------------
+
+    def _spawn_worker(self, result_queue: "multiprocessing.Queue") -> _WorkerHandle:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        task_queue = self._ctx.Queue()
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, os.getpid(), str(self.trace_cache.directory),
+                  self.scale, task_queue, result_queue),
+            name=f"repro-sim-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        return _WorkerHandle(worker_id, process, task_queue)
+
+    @staticmethod
+    def _stop_worker(handle: _WorkerHandle, kill: bool = False) -> None:
+        if kill and handle.process.is_alive():
+            handle.process.kill()
+        else:
+            try:
+                handle.task_queue.put(None)
+            except (OSError, ValueError):  # queue torn down already
+                pass
+        handle.process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        if handle.process.is_alive():
+            handle.process.kill()
+            handle.process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+        handle.task_queue.close()
+
+    # -- execution -----------------------------------------------------------
+
+    def run(
+        self,
+        units: Sequence[WorkUnit],
+        on_result: Optional[Callable[[WorkUnit, object], None]] = None,
+    ) -> Dict[int, object]:
+        """Execute ``units``; returns ``{unit_id: SimulationResult}``.
+
+        ``on_result`` is invoked in the parent, in completion order, as
+        each unit finishes — the journalling hook.  If any unit exhausts
+        its retry budget, the remaining units still run to completion and
+        a :class:`SimulationError` carrying the poisoned units' labels,
+        attempt counts, and per-attempt errors in ``context`` is raised at
+        the end.
+        """
+        units = list(units)
+        scheduler = Scheduler(units, max_attempts=self.policy.max_attempts)
+        self.metrics.workers = max(self.metrics.workers, self.workers)
+        self.metrics.units_total += len(units)
+        results: Dict[int, object] = {}
+        if not units:
+            return results
+
+        run_start = time.perf_counter()
+        respawn_budget = self.workers + len(units) * self.policy.max_attempts
+        result_queue = self._ctx.Queue()
+        pool: Dict[int, _WorkerHandle] = {}
+        progress = _Progress(len(units), enabled=self.progress_enabled)
+        unit_by_id = {unit.unit_id: unit for unit in units}
+        try:
+            for _ in range(min(self.workers, len(units))):
+                handle = self._spawn_worker(result_queue)
+                pool[handle.worker_id] = handle
+            while not scheduler.done:
+                self._dispatch(pool, scheduler)
+                message = self._poll_results(result_queue)
+                if message is not None:
+                    self._handle_message(
+                        message, pool, scheduler, unit_by_id, results, on_result,
+                    )
+                self._reap_workers(pool, scheduler, result_queue, respawn_budget)
+                progress.update(
+                    scheduler,
+                    busy=sum(1 for h in pool.values() if h.busy),
+                    workers=len(pool),
+                )
+        finally:
+            progress.close()
+            for handle in pool.values():
+                self._stop_worker(handle)
+            result_queue.close()
+            self.metrics.wall_time += time.perf_counter() - run_start
+            self.metrics.units_requeued += scheduler.requeues
+            self.metrics.units_poisoned += len(scheduler.poisoned)
+
+        if scheduler.poisoned:
+            self._raise_poisoned(scheduler)
+        return results
+
+    def _dispatch(self, pool: Dict[int, _WorkerHandle], scheduler: Scheduler) -> None:
+        for handle in pool.values():
+            if handle.busy or not handle.process.is_alive():
+                continue
+            unit = scheduler.acquire(handle.worker_id)
+            if unit is None:
+                return
+            handle.assign(unit)
+            self.metrics.sample_queue_depth(scheduler.pending_depth)
+
+    @staticmethod
+    def _poll_results(result_queue: "multiprocessing.Queue") -> Optional[tuple]:
+        try:
+            return result_queue.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            return None
+
+    def _handle_message(
+        self,
+        message: tuple,
+        pool: Dict[int, _WorkerHandle],
+        scheduler: Scheduler,
+        unit_by_id: Dict[int, WorkUnit],
+        results: Dict[int, object],
+        on_result: Optional[Callable[[WorkUnit, object], None]],
+    ) -> None:
+        kind, worker_id, unit_id = message[0], message[1], message[2]
+        handle = pool.get(worker_id)
+        if handle is not None and handle.unit is not None \
+                and handle.unit.unit_id == unit_id:
+            handle.unit = None  # worker is idle again
+        unit = unit_by_id[unit_id]
+        if kind == "ok":
+            _, _, _, result, trace_source, seconds = message
+            if scheduler.complete(unit_id):
+                results[unit_id] = result
+                self.metrics.record_unit(
+                    unit.label, unit.benchmark,
+                    str(getattr(unit.config, "label", unit.config)),
+                    seconds, worker_id, scheduler.attempts(unit_id), trace_source,
+                )
+                if on_result is not None:
+                    on_result(unit, result)
+        else:
+            _, _, _, error_type, error_message, _seconds = message
+            scheduler.fail(unit_id, f"{error_type}: {error_message}")
+
+    def _reap_workers(
+        self,
+        pool: Dict[int, _WorkerHandle],
+        scheduler: Scheduler,
+        result_queue: "multiprocessing.Queue",
+        respawn_budget: int,
+    ) -> None:
+        """Detect dead and hung workers; requeue their units; respawn."""
+        deadline = self.policy.deadline
+        for worker_id in list(pool):
+            handle = pool[worker_id]
+            dead = not handle.process.is_alive()
+            hung = (
+                not dead
+                and handle.busy
+                and deadline is not None
+                and time.perf_counter() - handle.started_at > deadline
+            )
+            if not dead and not hung:
+                continue
+            if hung:
+                handle.process.kill()
+                handle.process.join(timeout=_SHUTDOWN_GRACE_SECONDS)
+            reason = (
+                f"worker {worker_id} exceeded the {deadline:g}s deadline"
+                if hung else
+                f"worker {worker_id} died (exitcode {handle.process.exitcode})"
+            )
+            scheduler.worker_lost(worker_id, reason)
+            self.metrics.worker_crashes += 1
+            handle.task_queue.close()
+            del pool[worker_id]
+            if scheduler.done:
+                continue
+            if self._next_worker_id >= respawn_budget:
+                raise SimulationError(
+                    "parallel worker pool is unstable: respawn budget exhausted"
+                ).with_context(
+                    respawns=self._next_worker_id,
+                    respawn_budget=respawn_budget,
+                    last_failure=reason,
+                )
+            pool_handle = self._spawn_worker(result_queue)
+            pool[pool_handle.worker_id] = pool_handle
+
+    def _raise_poisoned(self, scheduler: Scheduler) -> None:
+        poisoned = scheduler.poisoned
+        labels = [unit.label for unit in poisoned.values()]
+        error = SimulationError(
+            f"{len(poisoned)} work unit(s) failed on every attempt: "
+            + ", ".join(sorted(labels))
+        )
+        raise error.with_context(
+            poisoned_units=sorted(labels),
+            max_attempts=scheduler.max_attempts,
+            unit_errors={
+                unit.label: scheduler.errors.get(unit_id, [])
+                for unit_id, unit in poisoned.items()
+            },
+            completed=scheduler.completed_count,
+            total=scheduler.total,
+        )

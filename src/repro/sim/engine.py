@@ -60,8 +60,13 @@ class SimulationResult:
 
     @property
     def hit_rate(self) -> float:
-        """Prediction hit percentage (0..100)."""
-        return 100.0 - self.misprediction_rate if self.events else 0.0
+        """Prediction hit percentage (0..100).
+
+        Complements :attr:`misprediction_rate` exactly: the two always
+        sum to 100, including on an empty trace (zero events means zero
+        mispredictions, so the hit rate is vacuously perfect).
+        """
+        return 100.0 - self.misprediction_rate
 
     def __str__(self) -> str:
         return (

@@ -16,10 +16,20 @@ from :mod:`repro.runtime`:
   continues where it stopped instead of starting over;
 * ``policy`` — each simulation runs under a configurable deadline /
   retry-with-backoff policy with structured error context.
+
+With ``workers=N`` (N > 1) batch lookups — :meth:`SuiteRunner.rates`,
+:func:`repro.sim.sweep.sweep`, :meth:`SuiteRunner.compute_many` — are
+decomposed into (config, benchmark) work units and executed on a
+:class:`~repro.runtime.parallel.ParallelExecutor` worker pool.  Traces
+are pre-generated once into the on-disk cache and shared; simulation is
+deterministic, so parallel results are bit-identical to serial ones.
+Every run accumulates a :class:`~repro.runtime.scheduler.RunMetrics`
+record exposed via :meth:`SuiteRunner.metrics_summary`.
 """
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
 
 from ..core.config import PredictorConfig
@@ -43,6 +53,8 @@ class SuiteRunner:
         policy: Optional[object] = None,
         simulate_fn: Optional[Callable[..., SimulationResult]] = None,
         generate_fn: Optional[Callable[..., Trace]] = None,
+        workers: int = 1,
+        progress: bool = True,
     ) -> None:
         """Args beyond the suite subset and trace scale:
 
@@ -52,21 +64,35 @@ class SuiteRunner:
             checkpoint: a :class:`repro.runtime.checkpoint.CheckpointJournal`
                 consulted before simulating and appended to after.
             policy: a :class:`repro.runtime.policies.ExecutionPolicy`
-                applied to every simulation (deadline, retries).
+                applied to every simulation (deadline, retries; in
+                parallel mode ``max_attempts`` is the crashed-unit
+                requeue budget and ``deadline`` the hang watchdog).
             simulate_fn: override for :func:`repro.sim.engine.simulate`
-                (used by fault-injection tests).
+                (used by fault-injection tests; serial path only).
             generate_fn: override for trace generation (fault injection).
+            workers: worker process count for batch lookups; 1 (default)
+                simulates serially in-process.  Parallel mode requires an
+                on-disk trace cache — a private temporary one is created
+                when ``cache_dir`` is not given.
+            progress: emit the executor's live stderr progress line.
         """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.benchmarks: Tuple[str, ...] = tuple(
             benchmarks if benchmarks is not None else benchmark_names()
         )
         self.scale = scale
+        self.workers = workers
+        self.progress = progress
         self._traces: Dict[str, Trace] = {}
         self._results: Dict[Tuple[PredictorConfig, str], SimulationResult] = {}
         self._simulate = simulate_fn if simulate_fn is not None else simulate
         self._generate = generate_fn if generate_fn is not None else generate_trace
         self.checkpoint = checkpoint
         self.policy = policy
+        from ..runtime.scheduler import RunMetrics
+
+        self.metrics = RunMetrics(workers=workers)
         if cache_dir is None:
             self.trace_cache = None
         else:
@@ -122,6 +148,7 @@ class SuiteRunner:
             cached = self.checkpoint.get(config, benchmark)
             if cached is not None:
                 self._results[key] = cached
+                self.metrics.units_from_checkpoint += 1
                 return cached
         cached = self._run_simulation(config, benchmark)
         self._results[key] = cached
@@ -136,18 +163,121 @@ class SuiteRunner:
             predictor = build_predictor(config)
             return self._simulate(predictor, self.trace(benchmark))
 
+        label = getattr(config, "label", str(config))
+        start = time.perf_counter()
         if self.policy is None:
-            return work()
-        from ..runtime.policies import run_with_policy
+            result = work()
+        else:
+            from ..runtime.policies import run_with_policy
 
-        return run_with_policy(
-            work,
-            self.policy,
-            context={
-                "benchmark": benchmark,
-                "config": getattr(config, "label", str(config)),
-            },
+            result = run_with_policy(
+                work,
+                self.policy,
+                context={"benchmark": benchmark, "config": label},
+            )
+        self.metrics.units_total += 1
+        self.metrics.record_unit(
+            f"{label}/{benchmark}", benchmark, str(label),
+            time.perf_counter() - start,
+            worker="serial", attempt=1, trace_source="serial",
         )
+        return result
+
+    # -- parallel execution --------------------------------------------------
+
+    def _parallel_trace_cache(self):
+        """The on-disk cache workers share (created on demand)."""
+        if self.trace_cache is None:
+            import atexit
+            import shutil
+            import tempfile
+
+            from ..runtime.cache import TraceCache
+
+            directory = tempfile.mkdtemp(prefix="repro-traces-")
+            atexit.register(shutil.rmtree, directory, ignore_errors=True)
+            self.trace_cache = TraceCache(directory)
+        return self.trace_cache
+
+    def compute_many(
+        self,
+        pairs: Iterable[Tuple[PredictorConfig, str]],
+    ) -> None:
+        """Resolve a batch of (config, benchmark) pairs into the memo table.
+
+        Pairs already memoised or journalled are skipped; the remainder
+        runs serially (``workers == 1``) or on the parallel worker pool.
+        Fresh results are journalled in completion order as they stream
+        back, so a killed parallel run loses at most the units in flight.
+        Deduplicates, so callers can pass overlapping batches freely.
+        """
+        todo: Dict[Tuple[PredictorConfig, str], None] = {}
+        for config, benchmark in pairs:
+            key = (config, benchmark)
+            if key in self._results or key in todo:
+                continue
+            if self.checkpoint is not None:
+                cached = self.checkpoint.get(config, benchmark)
+                if cached is not None:
+                    self._results[key] = cached
+                    self.metrics.units_from_checkpoint += 1
+                    continue
+            todo[key] = None
+        if not todo:
+            return
+        if self.workers == 1 or len(todo) == 1:
+            for config, benchmark in todo:
+                self.result(config, benchmark)
+            return
+
+        from ..runtime.parallel import ParallelExecutor
+        from ..runtime.scheduler import WorkUnit
+
+        cache = self._parallel_trace_cache()
+        # Generate each needed trace exactly once, through the normal
+        # (memo -> disk -> generate) path; workers then only load.
+        for benchmark in {benchmark for _, benchmark in todo}:
+            self.trace(benchmark)
+        units = [
+            WorkUnit(unit_id, config, benchmark)
+            for unit_id, (config, benchmark) in enumerate(todo)
+        ]
+        executor = ParallelExecutor(
+            self.workers,
+            cache,
+            scale=self.scale,
+            policy=self.policy,
+            metrics=self.metrics,
+            progress=self.progress,
+        )
+
+        def on_result(unit, result) -> None:
+            self._results[(unit.config, unit.benchmark)] = result
+            if self.checkpoint is not None:
+                self.checkpoint.record(unit.config, unit.benchmark, result)
+
+        executor.run(units, on_result=on_result)
+
+    def metrics_summary(self) -> Dict[str, object]:
+        """The run's :class:`RunMetrics` as a JSON-ready dict.
+
+        Extends the executor-level record with the parent-side trace-cache
+        counters and the checkpoint-journal size, so ``--metrics-out``
+        captures the whole run in one document.
+        """
+        data = self.metrics.to_dict()
+        data["workers"] = self.workers
+        if self.trace_cache is not None:
+            stats = self.trace_cache.stats
+            data["parent_trace_cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "corruptions": stats.corruptions,
+            }
+        if self.checkpoint is not None:
+            data["checkpoint_entries"] = len(self.checkpoint)
+        return data
 
     def rates(
         self,
@@ -156,6 +286,8 @@ class SuiteRunner:
     ) -> Dict[str, float]:
         """Per-benchmark misprediction percentages for one config."""
         names = tuple(benchmarks) if benchmarks is not None else self.benchmarks
+        if self.workers > 1:
+            self.compute_many((config, name) for name in names)
         return {name: self.result(config, name).misprediction_rate for name in names}
 
     def rates_with_groups(

@@ -69,6 +69,19 @@ def sweep(
             as it completes (used by long-running benches).
     """
     runner = runner or shared_runner()
+    if getattr(runner, "workers", 1) > 1 and hasattr(runner, "compute_many"):
+        # Parallel runner: fan the whole grid out as one work-unit batch
+        # before the (now memo-hitting) serial collection loop below, so
+        # the pool sees |configs| * |benchmarks| units instead of one
+        # sweep point at a time.  Results are identical — simulation is
+        # deterministic per (config, benchmark) — only scheduling changes.
+        names = tuple(benchmarks) if benchmarks is not None else runner.benchmarks
+        try:
+            runner.compute_many(
+                (config, name) for config in configs.values() for name in names
+            )
+        except ReproError as exc:
+            raise exc.with_context(sweep_total=len(configs), sweep_mode="parallel")
     result = SweepResult()
     completed = 0
     for point, config in configs.items():

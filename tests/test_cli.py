@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -19,6 +21,27 @@ class TestParser:
     def test_trace_rejects_unknown_benchmark(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace", "doom", "x.bin"])
+
+    def test_workers_flag_default_serial(self):
+        assert build_parser().parse_args(["experiments"]).workers == 1
+        assert build_parser().parse_args(["simulate", "btb"]).workers == 1
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["experiments", "--workers", "0"])
+
+    def test_simulate_accepts_runtime_flags(self):
+        args = build_parser().parse_args([
+            "simulate", "btb", "--scale", "0.1", "--workers", "2",
+            "--checkpoint-dir", "ckpt", "--metrics-out", "m.json",
+        ])
+        assert args.scale == 0.1
+        assert args.workers == 2
+        assert args.checkpoint_dir == "ckpt"
+
+    def test_simulate_resume_requires_checkpoint_dir(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "btb", "--resume"])
 
 
 class TestCommands:
@@ -97,3 +120,60 @@ class TestCheckpointedExperiments:
         assert "resuming" in captured.err
         assert "fig2" in captured.out
         assert journal.stat().st_size == journal_size  # nothing re-journalled
+
+
+class TestSimulateCheckpointed:
+    def test_scale_and_checkpoint_then_resume(self, tmp_path, capsys, monkeypatch):
+        checkpoint = tmp_path / "ckpt"
+        argv = ["simulate", "btb", "perl", "ixx", "--scale", "0.05",
+                "--checkpoint-dir", str(checkpoint)]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "perl" in first
+        journal = checkpoint / "results.jsonl"
+        assert journal.exists()
+        journal_size = journal.stat().st_size
+        assert (checkpoint / "traces").is_dir()
+
+        # Resume must answer purely from the journal: booby-trap simulate.
+        def boom(*args, **kwargs):
+            raise AssertionError("resume re-ran a completed simulation")
+
+        monkeypatch.setattr("repro.sim.suite_runner.simulate", boom)
+        assert main(argv + ["--resume"]) == 0
+        captured = capsys.readouterr()
+        assert "resuming" in captured.err
+        assert captured.out == first  # bit-identical rendering
+        assert journal.stat().st_size == journal_size
+
+    def test_simulate_scale_shrinks_traces(self, tmp_path, capsys):
+        # --scale reaches trace generation: the cached trace is tiny.
+        checkpoint = tmp_path / "ckpt"
+        assert main(["simulate", "btb", "perl", "--scale", "0.05",
+                     "--checkpoint-dir", str(checkpoint)]) == 0
+        trace = load_trace(checkpoint / "traces" / "perl@x0.05.trace")
+        assert 0 < len(trace) <= 2000
+
+
+class TestParallelCli:
+    def test_experiments_workers_metrics_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        metrics_path = tmp_path / "metrics" / "run.json"
+        assert main(["experiments", "fig2",
+                     "--checkpoint-dir", str(tmp_path / "ckpt"),
+                     "--workers", "2",
+                     "--metrics-out", str(metrics_path)]) == 0
+        assert "fig2" in capsys.readouterr().out
+        data = json.loads(metrics_path.read_text())
+        assert data["schema"] == "repro-run-metrics/1"
+        assert data["workers"] == 2
+        assert data["units"]["completed"] > 0
+        assert data["units"]["poisoned"] == 0
+        assert data["checkpoint_entries"] == data["units"]["completed"]
+
+    def test_simulate_workers_matches_serial_output(self, tmp_path, capsys):
+        serial_argv = ["simulate", "btb", "perl", "ixx", "--scale", "0.05"]
+        assert main(serial_argv) == 0
+        serial_out = capsys.readouterr().out
+        assert main(serial_argv + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial_out

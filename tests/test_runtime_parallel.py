@@ -1,0 +1,201 @@
+"""Integration tests for the parallel sweep executor.
+
+Covers the headline guarantees: parallel results are bit-identical to
+serial ones (rates *and* checkpoint journal, modulo completion order), a
+SIGKILLed worker's unit is requeued and the sweep completes, a hung
+worker is killed by the deadline watchdog, and a unit that fails every
+attempt is reported with structured context instead of wedging the pool.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import BTBConfig, TwoLevelConfig
+from repro.errors import SimulationError
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.faults import CRASH_ENV_VAR, HANG_ENV_VAR
+from repro.runtime.policies import ExecutionPolicy
+from repro.sim.suite_runner import SuiteRunner
+from repro.sim.sweep import sweep
+
+#: Small, behaviourally distinct benchmarks; heavily scaled-down traces.
+BENCHMARKS = ("perl", "ixx")
+SCALE = 0.1
+
+CONFIGS = {
+    "btb": BTBConfig(),
+    "btb-always": BTBConfig(update_rule="always"),
+    "twolevel": TwoLevelConfig.practical(2, 256, 2),
+}
+
+
+def make_runner(tmp_path, name, **kwargs):
+    directory = tmp_path / name
+    return SuiteRunner(
+        benchmarks=BENCHMARKS,
+        scale=SCALE,
+        cache_dir=directory / "traces",
+        checkpoint=CheckpointJournal(directory / "results.jsonl"),
+        progress=False,
+        **kwargs,
+    )
+
+
+def journal_body(path):
+    """Data lines of a journal in canonical (sorted) order."""
+    lines = path.read_text().splitlines()
+    assert "repro-checkpoint" in lines[0]
+    return sorted(lines[1:])
+
+
+class TestSerialParallelEquivalence:
+    @pytest.mark.parametrize("workers", [2, 4])
+    def test_rates_and_journal_identical(self, tmp_path, workers):
+        serial = make_runner(tmp_path, "serial")
+        parallel = make_runner(tmp_path, f"par{workers}", workers=workers)
+        serial_rates = {name: serial.rates(config)
+                        for name, config in CONFIGS.items()}
+        parallel_rates = {name: parallel.rates(config)
+                          for name, config in CONFIGS.items()}
+        # Byte-identical: exact float equality, not approx.
+        assert parallel_rates == serial_rates
+        assert journal_body(parallel.checkpoint.path) \
+            == journal_body(serial.checkpoint.path)
+
+    def test_sweep_parallel_matches_serial(self, tmp_path):
+        configs = {p: TwoLevelConfig.practical(p, 256, 2) for p in (0, 1, 2)}
+        serial = make_runner(tmp_path, "serial")
+        parallel = make_runner(tmp_path, "parallel", workers=2)
+        swept_serial = sweep(configs, runner=serial, benchmarks=BENCHMARKS)
+        swept_parallel = sweep(configs, runner=parallel, benchmarks=BENCHMARKS)
+        assert swept_parallel.points == swept_serial.points
+        # The whole grid went through the pool, not one point at a time.
+        assert parallel.metrics.units_total == len(configs) * len(BENCHMARKS)
+
+    def test_traces_generated_once_in_parent(self, tmp_path):
+        runner = make_runner(tmp_path, "warm", workers=2)
+        runner.rates(CONFIGS["btb"])
+        # One store per benchmark: workers only load, never regenerate.
+        assert runner.trace_cache.stats.stores == len(BENCHMARKS)
+        assert runner.metrics.trace_loads.get("generated", 0) == 0
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_unit_requeued_and_completes(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/kill-ticket")
+        runner = make_runner(
+            tmp_path, "crash", workers=2,
+            policy=ExecutionPolicy(max_attempts=3),
+        )
+        rates = runner.rates(CONFIGS["btb"])
+        monkeypatch.delenv(CRASH_ENV_VAR)
+        reference = make_runner(tmp_path, "ref").rates(CONFIGS["btb"])
+        assert rates == reference
+        metrics = runner.metrics_summary()
+        assert metrics["units"]["requeued"] >= 1
+        assert metrics["worker_crashes"] >= 1
+        assert metrics["units"]["completed"] == len(BENCHMARKS)
+        # The requeued unit landed in the journal exactly once.
+        body = journal_body(runner.checkpoint.path)
+        assert len(body) == len(BENCHMARKS)
+        assert len(set(body)) == len(body)
+
+    def test_default_policy_survives_worker_crash(self, tmp_path, monkeypatch):
+        # With no explicit policy the pool must still survive a lost
+        # worker: environmental deaths (OOM kill, preemption) say nothing
+        # about the unit, so the default budget allows requeues.
+        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/default-ticket")
+        runner = make_runner(tmp_path, "default-crash", workers=2)
+        rates = runner.rates(CONFIGS["btb"])
+        monkeypatch.delenv(CRASH_ENV_VAR)
+        assert rates == make_runner(tmp_path, "default-ref").rates(CONFIGS["btb"])
+        assert runner.metrics.worker_crashes >= 1
+
+    def test_poisoned_unit_reports_structured_context(
+        self, tmp_path, monkeypatch
+    ):
+        # Crash on *every* attempt: the unit exhausts its retry budget.
+        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/poison-ticket@5")
+        runner = make_runner(
+            tmp_path, "poison", workers=2,
+            policy=ExecutionPolicy(max_attempts=2),
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            runner.rates(CONFIGS["btb"])
+        context = excinfo.value.context
+        assert context["poisoned_units"] == ["btb-2bc(inf)/perl"]
+        assert context["max_attempts"] == 2
+        assert len(context["unit_errors"]["btb-2bc(inf)/perl"]) == 2
+        # The pool drained the healthy unit before reporting the poison.
+        assert context["completed"] == 1
+        assert runner.checkpoint.get(CONFIGS["btb"], "ixx") is not None
+
+    def test_hung_worker_killed_by_deadline_watchdog(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(HANG_ENV_VAR, f"ixx@{tmp_path}/hang-ticket")
+        runner = make_runner(
+            tmp_path, "hang", workers=2,
+            policy=ExecutionPolicy(max_attempts=2, deadline=1.0),
+        )
+        rates = runner.rates(CONFIGS["btb"])
+        monkeypatch.delenv(HANG_ENV_VAR)
+        assert rates == make_runner(tmp_path, "ref2").rates(CONFIGS["btb"])
+        assert runner.metrics.units_requeued >= 1
+
+
+class TestParallelCheckpointResume:
+    def test_resume_skips_parallel_journalled_units(self, tmp_path):
+        directory = tmp_path / "run"
+        first = SuiteRunner(
+            benchmarks=BENCHMARKS, scale=SCALE, workers=2, progress=False,
+            cache_dir=directory / "traces",
+            checkpoint=CheckpointJournal(directory / "results.jsonl"),
+        )
+        first.rates(CONFIGS["btb"])
+        first.checkpoint.close()
+
+        def boom(*args, **kwargs):
+            raise AssertionError("resume re-ran a journalled simulation")
+
+        resumed = SuiteRunner(
+            benchmarks=BENCHMARKS, scale=SCALE, workers=2, progress=False,
+            cache_dir=directory / "traces",
+            checkpoint=CheckpointJournal(directory / "results.jsonl", resume=True),
+            simulate_fn=boom,
+        )
+        rates = resumed.rates(CONFIGS["btb"])
+        assert rates == first.rates(CONFIGS["btb"])
+        assert resumed.metrics.units_from_checkpoint == len(BENCHMARKS)
+
+    def test_metrics_summary_is_json_ready(self, tmp_path):
+        runner = make_runner(tmp_path, "metrics", workers=2)
+        runner.rates(CONFIGS["btb"])
+        data = json.loads(json.dumps(runner.metrics_summary()))
+        assert data["schema"] == "repro-run-metrics/1"
+        assert data["workers"] == 2
+        assert data["units"]["completed"] == len(BENCHMARKS)
+        assert data["checkpoint_entries"] == len(BENCHMARKS)
+        assert data["parent_trace_cache"]["stores"] == len(BENCHMARKS)
+        assert len(data["per_unit"]) == len(BENCHMARKS)
+
+
+class TestValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SuiteRunner(workers=0)
+
+    def test_executor_rejects_zero_workers(self, tmp_path):
+        from repro.runtime.parallel import ParallelExecutor
+
+        with pytest.raises(ValueError):
+            ParallelExecutor(0, tmp_path / "cache")
+
+    def test_executor_empty_units(self, tmp_path):
+        from repro.runtime.parallel import ParallelExecutor
+
+        executor = ParallelExecutor(2, tmp_path / "cache", progress=False)
+        assert executor.run([]) == {}

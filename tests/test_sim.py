@@ -25,6 +25,15 @@ class TestSimulationResult:
     def test_zero_events(self):
         result = SimulationResult("b", "p", events=0, mispredictions=0)
         assert result.misprediction_rate == 0.0
+        # An empty trace is vacuously all-hit: the two rates must keep
+        # summing to 100, not collapse to 0 + 0.
+        assert result.hit_rate == 100.0
+
+    def test_rates_always_sum_to_100(self):
+        for events, misses in ((0, 0), (1, 0), (1, 1), (200, 50)):
+            result = SimulationResult("b", "p", events, misses)
+            assert result.hit_rate + result.misprediction_rate \
+                == pytest.approx(100.0)
 
     def test_inconsistent_counts_rejected(self):
         with pytest.raises(SimulationError):
