@@ -1,0 +1,82 @@
+"""CI assertion: telemetry artifacts match their published schemas.
+
+Usage::
+
+    python .github/workflows/check_metrics_schema.py METRICS.json TRACE.jsonl
+
+Validates a ``--metrics-out`` document against ``repro-run-metrics/2``
+(top-level keys, unit counters, per-phase breakdown shape) and a
+``--trace-log`` file against ``repro-trace-log/1`` (header line, one JSON
+record per line, span/event record shapes).
+"""
+
+import json
+import sys
+
+METRICS_SCHEMA = "repro-run-metrics/2"
+TRACE_LOG_SCHEMA = "repro-trace-log/1"
+
+METRICS_KEYS = {
+    "schema", "workers", "wall_time_s", "phases", "units", "worker_crashes",
+    "unit_wall_time_s", "queue_depth", "worker_utilization", "trace_loads",
+    "per_unit",
+}
+UNIT_KEYS = {"total", "completed", "from_checkpoint", "requeued", "poisoned"}
+TRACE_SOURCES = {"memo", "cache", "generated"}
+
+
+def check_metrics(path: str) -> None:
+    data = json.load(open(path))
+    assert data["schema"] == METRICS_SCHEMA, data.get("schema")
+    missing = METRICS_KEYS - set(data)
+    assert not missing, f"metrics missing keys: {sorted(missing)}"
+    assert set(data["units"]) == UNIT_KEYS, sorted(data["units"])
+    assert data["workers"] >= 1
+    assert data["wall_time_s"] > 0.0, "wall_time_s must be nonzero"
+    for name, stats in data["phases"].items():
+        assert set(stats) == {"seconds", "count"}, (name, stats)
+        assert stats["seconds"] >= 0.0 and stats["count"] >= 1, (name, stats)
+    assert "simulate" in data["phases"] or data["units"]["completed"] == 0
+    for source in data["trace_loads"]:
+        assert source in TRACE_SOURCES, f"unknown trace source {source!r}"
+    for unit in data["per_unit"]:
+        assert unit["trace_source"] in TRACE_SOURCES, unit
+        assert unit["seconds"] >= 0.0, unit
+    print(f"{path}: valid {METRICS_SCHEMA} "
+          f"({data['units']['completed']} units, "
+          f"{len(data['phases'])} phases)")
+
+
+def check_trace_log(path: str) -> None:
+    lines = open(path).read().splitlines()
+    assert lines, "empty trace log"
+    header = json.loads(lines[0])
+    assert header.get("schema") == TRACE_LOG_SCHEMA, header
+    spans = events = 0
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        kind = record.get("kind")
+        assert kind in ("span", "event"), f"line {number}: kind {kind!r}"
+        assert record.get("name"), f"line {number}: unnamed record"
+        assert record.get("t") is not None and record["t"] >= 0.0
+        assert isinstance(record.get("attrs"), dict), f"line {number}"
+        if kind == "span":
+            assert record.get("dur_s") is not None and record["dur_s"] >= 0.0
+            assert record.get("depth", -1) >= 0
+            spans += 1
+        else:
+            events += 1
+    assert spans > 0, "trace log recorded no spans"
+    assert events > 0, "trace log recorded no events"
+    print(f"{path}: valid {TRACE_LOG_SCHEMA} "
+          f"({spans} spans, {events} events)")
+
+
+def main() -> None:
+    metrics_path, trace_log_path = sys.argv[1], sys.argv[2]
+    check_metrics(metrics_path)
+    check_trace_log(trace_log_path)
+
+
+if __name__ == "__main__":
+    main()

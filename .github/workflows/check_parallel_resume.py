@@ -20,7 +20,7 @@ def main() -> None:
     assert len(pairs) == len(set(pairs)), "duplicate journal entries"
 
     metrics = json.load(open("metrics.json"))
-    assert metrics["schema"] == "repro-run-metrics/1"
+    assert metrics["schema"] == "repro-run-metrics/2"
     assert metrics["units"]["poisoned"] == 0
 
     # Every unit that survived the kill came back from the checkpoint

@@ -19,9 +19,13 @@ Subcommands:
 
 Both simulation subcommands accept ``--workers N`` (default 1) to run
 the (config, benchmark) work units on a crash-recovering worker pool —
-results are bit-identical to serial runs — and ``--metrics-out FILE``
-to write the run's JSON metrics record (per-unit wall times, queue
-depth, worker utilisation, trace-cache hits/misses).
+results are bit-identical to serial runs — ``--metrics-out FILE`` to
+write the run's JSON metrics record (``repro-run-metrics/2``: per-phase
+breakdown, unit wall times, queue depth, worker utilisation, trace-cache
+hits/misses), and ``--trace-log FILE`` to stream the structured
+telemetry log (``repro-trace-log/1``, one fsync'd JSON line per
+span/event); ``tools/summarize_metrics.py`` renders either file as a
+phase table.
 
 ``trace BENCHMARK FILE``
     Generate a benchmark trace and write it to ``FILE`` (binary format, or
@@ -55,16 +59,18 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     """
     scale = getattr(args, "scale", None)
     workers = getattr(args, "workers", 1)
+    trace_log = getattr(args, "trace_log", None)
     if args.checkpoint_dir:
         runner = checkpointed_runner(
-            args.checkpoint_dir, resume=args.resume, scale=scale, workers=workers,
+            args.checkpoint_dir, resume=args.resume, scale=scale,
+            workers=workers, trace_log=trace_log,
         )
         if args.resume and len(runner.checkpoint):
             print(f"resuming: {len(runner.checkpoint)} checkpointed "
                   f"simulation(s) will not be re-run", file=sys.stderr)
         return runner
-    if workers > 1 or scale is not None:
-        return SuiteRunner(scale=scale, workers=workers)
+    if workers > 1 or scale is not None or trace_log:
+        return SuiteRunner(scale=scale, workers=workers, trace_log=trace_log)
     return shared_runner()
 
 
@@ -92,8 +98,13 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "are bit-identical either way)")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the run's JSON metrics record "
-                             "(unit wall times, queue depth, worker "
+                             "(repro-run-metrics/2: per-phase breakdown, "
+                             "unit wall times, queue depth, worker "
                              "utilisation, cache hits/misses)")
+    parser.add_argument("--trace-log", metavar="FILE",
+                        help="write the structured telemetry log "
+                             "(repro-trace-log/1: one fsync'd JSON line "
+                             "per span/event)")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -112,6 +123,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
     finally:
         _write_metrics(runner, args.metrics_out)
+        runner.tracer.close()
     return 0
 
 
@@ -119,8 +131,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = config_from_spec(args.spec)
     runner = _make_runner(args)
     names = args.benchmarks or list(benchmark_names())
-    rates = runner.rates_with_groups(config, names)
-    _write_metrics(runner, args.metrics_out)
+    try:
+        rates = runner.rates_with_groups(config, names)
+    finally:
+        _write_metrics(runner, args.metrics_out)
+        runner.tracer.close()
     rows = [[name, round(rate, 2)] for name, rate in rates.items()
             if name not in GROUPS]
     rows += [[name, round(rate, 2)] for name, rate in rates.items()

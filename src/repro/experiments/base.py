@@ -108,6 +108,7 @@ def checkpointed_runner(
     scale: Optional[float] = None,
     policy: Optional[object] = None,
     workers: int = 1,
+    trace_log: Optional[Union[str, Path]] = None,
 ):
     """A :class:`~repro.sim.suite_runner.SuiteRunner` with durability.
 
@@ -126,6 +127,10 @@ def checkpointed_runner(
     ``workers`` > 1 runs batch lookups on the parallel worker pool; the
     pool's workers load traces from the same ``traces/`` cache and the
     parent journals streamed results, so parallel runs stay resumable.
+
+    ``trace_log`` attaches the structured JSONL telemetry sink
+    (``repro-trace-log/1``) to the runner's tracer — one fsync'd line per
+    span/event, the ``--trace-log`` CLI flag.
     """
     from ..runtime.checkpoint import CheckpointJournal
     from ..sim.suite_runner import SuiteRunner
@@ -140,4 +145,5 @@ def checkpointed_runner(
         checkpoint=journal,
         policy=policy,
         workers=workers,
+        trace_log=trace_log,
     )

@@ -18,7 +18,11 @@ sweeps survivable:
   crash-recovering ``multiprocessing`` worker pool that streams results
   back for incremental journalling;
 * :mod:`repro.runtime.faults` — deterministic fault injection used by the
-  tests to prove the degradation paths work.
+  tests to prove the degradation paths work;
+* :mod:`repro.runtime.telemetry` — the unified observability layer:
+  span-based :class:`Tracer` (monotonic timing, nesting, counters), the
+  structured JSONL trace log (``repro-trace-log/1``), and the per-phase
+  accounting behind the ``repro-run-metrics/2`` breakdown.
 """
 
 from .cache import TraceCache
@@ -34,6 +38,7 @@ from .faults import (
 from .parallel import ParallelExecutor
 from .policies import ExecutionPolicy, run_with_policy
 from .scheduler import RunMetrics, Scheduler, WorkUnit
+from .telemetry import PhaseStats, TraceLogWriter, Tracer, read_trace_log
 
 __all__ = [
     "CheckpointJournal",
@@ -42,13 +47,17 @@ __all__ = [
     "FaultInjectedError",
     "FlakyCallable",
     "ParallelExecutor",
+    "PhaseStats",
     "RunMetrics",
     "Scheduler",
     "SlowCallable",
     "TraceCache",
+    "TraceLogWriter",
+    "Tracer",
     "WorkUnit",
     "config_key",
     "corrupt_file",
+    "read_trace_log",
     "run_with_policy",
     "truncate_file",
 ]

@@ -22,6 +22,7 @@ from typing import List, Optional, Tuple, Union
 from ..errors import TraceError
 from ..workloads.io import load_trace, save_trace
 from ..workloads.trace import Trace
+from .telemetry import NULL_TRACER
 
 PathLike = Union[str, Path]
 
@@ -45,6 +46,9 @@ class TraceCache:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        #: the run's tracer; owners (e.g. the suite runner) re-point this
+        #: at theirs so quarantines and stores land in the trace log.
+        self.tracer = NULL_TRACER
 
     @staticmethod
     def key(name: str, scale: Optional[float] = None) -> str:
@@ -76,6 +80,7 @@ class TraceCache:
             self.stats.misses += 1
             self.stats.corruptions += 1
             self.stats.corruption_log.append((key, str(exc)))
+            self.tracer.event("cache_quarantine", key=key, reason=str(exc))
             try:
                 path.replace(path.with_suffix(".corrupt"))
             except OSError:
@@ -87,7 +92,8 @@ class TraceCache:
     def store(self, key: str, trace: Trace) -> Path:
         """Atomically persist a trace under ``key``."""
         path = self.path_for(key)
-        save_trace(trace, path)
+        with self.tracer.span("cache_store", key=key):
+            save_trace(trace, path)
         self.stats.stores += 1
         return path
 

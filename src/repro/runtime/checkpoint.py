@@ -27,6 +27,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import CheckpointError
 from ..sim.engine import SimulationResult
+from .telemetry import NULL_TRACER
 
 PathLike = Union[str, Path]
 
@@ -62,6 +63,7 @@ class CheckpointJournal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[Tuple[str, str], SimulationResult] = {}
+        self.tracer = NULL_TRACER
         self.dropped_partial = False
         self._keep_bytes: Optional[int] = None
         if resume and self.path.exists():
@@ -133,6 +135,16 @@ class CheckpointJournal:
             self._entries[key] = result
         return True
 
+    def attach_tracer(self, tracer: object) -> None:
+        """Adopt the run's tracer; announces the replayed journal state."""
+        self.tracer = tracer
+        tracer.event(
+            "journal_replay",
+            path=str(self.path),
+            entries=len(self._entries),
+            dropped_partial=self.dropped_partial,
+        )
+
     def get(self, config: object, benchmark: str) -> Optional[SimulationResult]:
         """The journalled result for one pair, or ``None``."""
         return self._entries.get((config_key(config), benchmark))
@@ -161,12 +173,13 @@ class CheckpointJournal:
         if key in self._entries:
             return
         self._entries[key] = result
-        self._append({
-            "config": key[0],
-            "benchmark": benchmark,
-            "label": getattr(config, "label", str(config)),
-            "result": result.to_dict(),
-        })
+        with self.tracer.span("journal", benchmark=benchmark):
+            self._append({
+                "config": key[0],
+                "benchmark": benchmark,
+                "label": getattr(config, "label", str(config)),
+                "result": result.to_dict(),
+            })
 
     def close(self) -> None:
         if not self._stream.closed:

@@ -47,6 +47,7 @@ from ..errors import SimulationError
 from .cache import TraceCache
 from .policies import ExecutionPolicy
 from .scheduler import POISONED, RunMetrics, Scheduler, WorkUnit
+from .telemetry import Tracer
 
 #: Parent loop poll interval and the workers' orphan-check interval.
 _POLL_SECONDS = 0.05
@@ -71,13 +72,17 @@ def _worker_main(
 
     Messages back to the parent::
 
-        ("ok",  worker_id, unit_id, SimulationResult, trace_source, seconds)
+        ("ok",  worker_id, unit_id, SimulationResult, trace_source,
+                seconds, load_seconds)
         ("err", worker_id, unit_id, error_type_name, error_message, seconds)
 
     ``trace_source`` records where the trace came from (``memo`` — this
     worker's per-process memo, ``cache`` — the shared on-disk cache,
     ``generated`` — regenerated after a cache miss/corruption), feeding
-    the run's cache hit/miss metrics.
+    the run's cache hit/miss metrics.  ``load_seconds`` is the slice of
+    ``seconds`` spent obtaining the trace (0 for a memo hit), so the
+    parent's tracer can attribute worker time to the load/generate vs
+    simulate phases without sharing a tracer across processes.
     """
     from ..core.factory import build_predictor
     from ..sim.engine import simulate
@@ -104,15 +109,19 @@ def _worker_main(
             maybe_hang_worker(label)
             trace = traces.get(benchmark)
             source = "memo"
+            load_seconds = 0.0
             if trace is None:
+                load_start = time.perf_counter()
                 trace = cache.load(cache.key(benchmark, scale))
                 source = "cache"
-            if trace is None:
-                # The parent pre-warms the cache, so this is the corruption
-                # (or races-with-eviction) path: regenerate and re-store.
-                trace = generate_trace(workload_config(benchmark, scale))
-                cache.store(cache.key(benchmark, scale), trace)
-                source = "generated"
+                if trace is None:
+                    # The parent pre-warms the cache, so this is the
+                    # corruption (or races-with-eviction) path:
+                    # regenerate and re-store.
+                    trace = generate_trace(workload_config(benchmark, scale))
+                    cache.store(cache.key(benchmark, scale), trace)
+                    source = "generated"
+                load_seconds = time.perf_counter() - load_start
             traces[benchmark] = trace
             result = simulate(build_predictor(config), trace)
         except Exception as exc:  # reported, requeued/poisoned by the parent
@@ -124,7 +133,7 @@ def _worker_main(
             continue
         result_queue.put((
             "ok", worker_id, unit_id, result, source,
-            time.perf_counter() - start,
+            time.perf_counter() - start, load_seconds,
         ))
 
 
@@ -219,6 +228,10 @@ class ParallelExecutor:
         metrics: a :class:`RunMetrics` to accumulate into (one per run;
             shared across several ``run()`` calls by the suite runner).
         progress: emit the live stderr progress line (default on).
+        tracer: the run's :class:`~repro.runtime.telemetry.Tracer`;
+            dispatch/requeue/poison/respawn events and worker-reported
+            load/simulate phase times are recorded through it.  Defaults
+            to a fresh tracer feeding ``metrics``.
         mp_context: ``multiprocessing`` context override (tests).
     """
 
@@ -230,6 +243,7 @@ class ParallelExecutor:
         policy: Optional[ExecutionPolicy] = None,
         metrics: Optional[RunMetrics] = None,
         progress: bool = True,
+        tracer: Optional[Tracer] = None,
         mp_context: Optional[object] = None,
     ) -> None:
         if workers < 1:
@@ -244,6 +258,7 @@ class ParallelExecutor:
             max_attempts=DEFAULT_PARALLEL_ATTEMPTS
         )
         self.metrics = metrics if metrics is not None else RunMetrics()
+        self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
         self.progress_enabled = progress
         self._ctx = mp_context or multiprocessing.get_context()
         self._next_worker_id = 0
@@ -304,6 +319,7 @@ class ParallelExecutor:
             return results
 
         run_start = time.perf_counter()
+        self.tracer.event("pool_start", workers=self.workers, units=len(units))
         respawn_budget = self.workers + len(units) * self.policy.max_attempts
         result_queue = self._ctx.Queue()
         pool: Dict[int, _WorkerHandle] = {}
@@ -334,6 +350,13 @@ class ParallelExecutor:
             self.metrics.wall_time += time.perf_counter() - run_start
             self.metrics.units_requeued += scheduler.requeues
             self.metrics.units_poisoned += len(scheduler.poisoned)
+            self.tracer.event(
+                "pool_stop",
+                completed=scheduler.completed_count,
+                requeued=scheduler.requeues,
+                poisoned=len(scheduler.poisoned),
+                wall_time_s=round(time.perf_counter() - run_start, 6),
+            )
 
         if scheduler.poisoned:
             self._raise_poisoned(scheduler)
@@ -348,6 +371,11 @@ class ParallelExecutor:
                 return
             handle.assign(unit)
             self.metrics.sample_queue_depth(scheduler.pending_depth)
+            self.tracer.event(
+                "dispatch", unit=unit.label, worker=handle.worker_id,
+                attempt=scheduler.attempts(unit.unit_id),
+                queue_depth=scheduler.pending_depth,
+            )
 
     @staticmethod
     def _poll_results(result_queue: "multiprocessing.Queue") -> Optional[tuple]:
@@ -372,9 +400,20 @@ class ParallelExecutor:
             handle.unit = None  # worker is idle again
         unit = unit_by_id[unit_id]
         if kind == "ok":
-            _, _, _, result, trace_source, seconds = message
+            _, _, _, result, trace_source, seconds, load_seconds = message
             if scheduler.complete(unit_id):
                 results[unit_id] = result
+                # Attribute the worker-reported split to the run's phase
+                # breakdown: trace acquisition vs simulation proper.
+                if trace_source != "memo" and load_seconds > 0:
+                    self.tracer.record_span(
+                        "trace_load" if trace_source == "cache" else "trace_gen",
+                        load_seconds, benchmark=unit.benchmark, worker=worker_id,
+                    )
+                self.tracer.record_span(
+                    "simulate", max(seconds - load_seconds, 0.0),
+                    benchmark=unit.benchmark, worker=worker_id,
+                )
                 self.metrics.record_unit(
                     unit.label, unit.benchmark,
                     str(getattr(unit.config, "label", unit.config)),
@@ -384,7 +423,12 @@ class ParallelExecutor:
                     on_result(unit, result)
         else:
             _, _, _, error_type, error_message, _seconds = message
-            scheduler.fail(unit_id, f"{error_type}: {error_message}")
+            error = f"{error_type}: {error_message}"
+            outcome = scheduler.fail(unit_id, error)
+            self.tracer.event(
+                "poison" if outcome == POISONED else "requeue",
+                unit=unit.label, worker=worker_id, error=error,
+            )
 
     def _reap_workers(
         self,
@@ -414,8 +458,17 @@ class ParallelExecutor:
                 if hung else
                 f"worker {worker_id} died (exitcode {handle.process.exitcode})"
             )
-            scheduler.worker_lost(worker_id, reason)
+            lost = scheduler.worker_lost(worker_id, reason)
             self.metrics.worker_crashes += 1
+            self.tracer.event(
+                "worker_lost", worker=worker_id, reason=reason,
+                hung=hung,
+            )
+            for lost_unit, outcome in lost:
+                self.tracer.event(
+                    "poison" if outcome == POISONED else "requeue",
+                    unit=lost_unit.label, worker=worker_id, error=reason,
+                )
             handle.task_queue.close()
             del pool[worker_id]
             if scheduler.done:
@@ -430,6 +483,10 @@ class ParallelExecutor:
                 )
             pool_handle = self._spawn_worker(result_queue)
             pool[pool_handle.worker_id] = pool_handle
+            self.tracer.event(
+                "respawn", worker=pool_handle.worker_id,
+                replaces=worker_id,
+            )
 
     def _raise_poisoned(self, scheduler: Scheduler) -> None:
         poisoned = scheduler.poisoned

@@ -13,9 +13,11 @@ supplies the ``multiprocessing`` plumbing around it.
 
 :class:`RunMetrics` is the observability record of a run: per-unit wall
 times, queue-depth samples, per-worker busy time, trace-load sources
-(worker-side cache hits vs regenerations), and unit counters (completed /
+(cache hits vs regenerations), a per-phase wall-time breakdown fed by the
+:mod:`repro.runtime.telemetry` tracer, and unit counters (completed /
 replayed from checkpoint / requeued / poisoned).  It renders to a stable
-JSON schema (``repro-run-metrics/1``) for ``--metrics-out``.
+JSON schema (``repro-run-metrics/2``) for ``--metrics-out``; serial and
+parallel runs emit the same key set.
 """
 
 from __future__ import annotations
@@ -23,6 +25,8 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from .telemetry import PhaseStats
 
 #: Outcomes of :meth:`Scheduler.fail`.
 REQUEUED = "requeued"
@@ -169,7 +173,7 @@ class Scheduler:
 # -- metrics ----------------------------------------------------------------
 
 #: JSON schema identifier written by :meth:`RunMetrics.to_dict`.
-METRICS_SCHEMA = "repro-run-metrics/1"
+METRICS_SCHEMA = "repro-run-metrics/2"
 
 
 @dataclass(frozen=True)
@@ -182,7 +186,7 @@ class UnitTiming:
     seconds: float
     worker: object
     attempt: int
-    trace_source: str  # "memo" | "cache" | "generated" | "serial"
+    trace_source: str  # "memo" | "cache" | "generated"
 
     def to_dict(self) -> dict:
         return {
@@ -218,8 +222,11 @@ class RunMetrics:
     queue_depth_samples: List[int] = field(default_factory=list)
     #: worker id -> cumulative busy seconds
     worker_busy: Dict[object, float] = field(default_factory=dict)
-    #: trace-load source ("memo"/"cache"/"generated"/"serial") -> count
+    #: trace-load source ("memo"/"cache"/"generated") -> count
     trace_loads: Dict[str, int] = field(default_factory=dict)
+    #: phase name (trace_gen/trace_load/simulate/journal/...) -> stats,
+    #: accumulated by the run's :class:`~repro.runtime.telemetry.Tracer`
+    phases: Dict[str, PhaseStats] = field(default_factory=dict)
 
     def record_unit(
         self,
@@ -239,6 +246,13 @@ class RunMetrics:
         self.worker_busy[worker] = self.worker_busy.get(worker, 0.0) + seconds
         self.trace_loads[trace_source] = self.trace_loads.get(trace_source, 0) + 1
 
+    def record_phase(self, name: str, seconds: float) -> None:
+        """Accumulate one span into the per-phase breakdown (tracer hook)."""
+        stats = self.phases.get(name)
+        if stats is None:
+            stats = self.phases[name] = PhaseStats()
+        stats.add(seconds)
+
     def sample_queue_depth(self, depth: int) -> None:
         self.queue_depth_samples.append(depth)
 
@@ -252,13 +266,17 @@ class RunMetrics:
         }
 
     def to_dict(self) -> dict:
-        """JSON-ready form (schema ``repro-run-metrics/1``)."""
+        """JSON-ready form (schema ``repro-run-metrics/2``)."""
         seconds = [t.seconds for t in self.unit_timings]
         depths = self.queue_depth_samples
         return {
             "schema": METRICS_SCHEMA,
             "workers": self.workers,
             "wall_time_s": round(self.wall_time, 6),
+            "phases": {
+                name: stats.to_dict()
+                for name, stats in sorted(self.phases.items())
+            },
             "units": {
                 "total": self.units_total,
                 "completed": self.units_completed,

@@ -81,6 +81,7 @@ def simulate(
     trace: Trace,
     reset: bool = True,
     label: Optional[str] = None,
+    tracer: Optional[object] = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the misprediction result.
 
@@ -90,17 +91,29 @@ def simulate(
             e.g. for context-switch studies).
         label: predictor name recorded in the result; defaults to the
             config label when available.
+        tracer: optional :class:`~repro.runtime.telemetry.Tracer`; when
+            given, the predictor run is timed as one ``simulate`` span
+            (the run's per-phase breakdown and ``--trace-log`` feed).
     """
-    if reset:
-        predictor.reset()
-    run = getattr(predictor, "run_trace", None)
-    if run is not None:
-        misses = run(trace.pcs, trace.targets)
-    else:  # pragma: no cover - all built-in predictors define run_trace
-        misses = default_run_trace(predictor, trace.pcs, trace.targets)
     if label is None:
         config = getattr(predictor, "config", None)
         label = getattr(config, "label", type(predictor).__name__)
+    if reset:
+        predictor.reset()
+
+    def run_events() -> int:
+        run = getattr(predictor, "run_trace", None)
+        if run is not None:
+            return run(trace.pcs, trace.targets)
+        # pragma: no cover - all built-in predictors define run_trace
+        return default_run_trace(predictor, trace.pcs, trace.targets)
+
+    if tracer is not None:
+        with tracer.span("simulate", benchmark=trace.name,
+                         predictor=str(label), events=len(trace)):
+            misses = run_events()
+    else:
+        misses = run_events()
     return SimulationResult(
         benchmark=trace.name,
         predictor=label,

@@ -55,6 +55,7 @@ class SuiteRunner:
         generate_fn: Optional[Callable[..., Trace]] = None,
         workers: int = 1,
         progress: bool = True,
+        trace_log: Optional[object] = None,
     ) -> None:
         """Args beyond the suite subset and trace scale:
 
@@ -75,6 +76,10 @@ class SuiteRunner:
                 on-disk trace cache — a private temporary one is created
                 when ``cache_dir`` is not given.
             progress: emit the executor's live stderr progress line.
+            trace_log: path (or open
+                :class:`~repro.runtime.telemetry.TraceLogWriter`) for the
+                structured JSONL telemetry log; ``None`` keeps the tracer
+                in-memory only.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -91,8 +96,10 @@ class SuiteRunner:
         self.checkpoint = checkpoint
         self.policy = policy
         from ..runtime.scheduler import RunMetrics
+        from ..runtime.telemetry import Tracer
 
         self.metrics = RunMetrics(workers=workers)
+        self.tracer = Tracer(sink=trace_log, metrics=self.metrics)
         if cache_dir is None:
             self.trace_cache = None
         else:
@@ -102,6 +109,9 @@ class SuiteRunner:
                 cache_dir if isinstance(cache_dir, TraceCache)
                 else TraceCache(cache_dir)
             )
+            self.trace_cache.tracer = self.tracer
+        if self.checkpoint is not None:
+            self.checkpoint.attach_tracer(self.tracer)
 
     # -- traces -------------------------------------------------------------
 
@@ -113,19 +123,29 @@ class SuiteRunner:
         validation counts as a miss: the trace is regenerated and the
         clean bytes are rewritten atomically over the corrupt file.
         """
+        return self._trace_with_source(name)[0]
+
+    def _trace_with_source(self, name: str) -> Tuple[Trace, str]:
+        """The trace plus where it came from: memo / cache / generated."""
         cached = self._traces.get(name)
-        if cached is None and self.trace_cache is not None:
-            cached = self.trace_cache.load(self.trace_cache.key(name, self.scale))
+        if cached is not None:
+            return cached, "memo"
+        if self.trace_cache is not None:
+            with self.tracer.span("trace_load", benchmark=name):
+                cached = self.trace_cache.load(
+                    self.trace_cache.key(name, self.scale)
+                )
             if cached is not None:
                 self._traces[name] = cached
-        if cached is None:
+                return cached, "cache"
+        with self.tracer.span("trace_gen", benchmark=name):
             cached = self._generate(workload_config(name, self.scale))
-            self._traces[name] = cached
-            if self.trace_cache is not None:
-                self.trace_cache.store(
-                    self.trace_cache.key(name, self.scale), cached
-                )
-        return cached
+        self._traces[name] = cached
+        if self.trace_cache is not None:
+            self.trace_cache.store(
+                self.trace_cache.key(name, self.scale), cached
+            )
+        return cached, "generated"
 
     def traces(self) -> Dict[str, Trace]:
         return {name: self.trace(name) for name in self.benchmarks}
@@ -149,6 +169,7 @@ class SuiteRunner:
             if cached is not None:
                 self._results[key] = cached
                 self.metrics.units_from_checkpoint += 1
+                self.tracer.event("checkpoint_hit", benchmark=benchmark)
                 return cached
         cached = self._run_simulation(config, benchmark)
         self._results[key] = cached
@@ -159,11 +180,18 @@ class SuiteRunner:
     def _run_simulation(
         self, config: PredictorConfig, benchmark: str
     ) -> SimulationResult:
+        label = getattr(config, "label", str(config))
+        sources: Dict[str, str] = {}
+
         def work() -> SimulationResult:
             predictor = build_predictor(config)
-            return self._simulate(predictor, self.trace(benchmark))
+            trace, sources["trace"] = self._trace_with_source(benchmark)
+            if self._simulate is simulate:
+                return simulate(predictor, trace, tracer=self.tracer)
+            with self.tracer.span("simulate", benchmark=benchmark,
+                                  predictor=str(label)):
+                return self._simulate(predictor, trace)
 
-        label = getattr(config, "label", str(config))
         start = time.perf_counter()
         if self.policy is None:
             result = work()
@@ -175,11 +203,16 @@ class SuiteRunner:
                 self.policy,
                 context={"benchmark": benchmark, "config": label},
             )
+        elapsed = time.perf_counter() - start
         self.metrics.units_total += 1
+        # Serial runs accumulate wall time per simulation (the parallel
+        # executor accumulates its own pool wall time instead), so a
+        # workers=1 sweep reports real utilisation, not 0.0.
+        self.metrics.wall_time += elapsed
         self.metrics.record_unit(
-            f"{label}/{benchmark}", benchmark, str(label),
-            time.perf_counter() - start,
-            worker="serial", attempt=1, trace_source="serial",
+            f"{label}/{benchmark}", benchmark, str(label), elapsed,
+            worker="serial", attempt=1,
+            trace_source=sources.get("trace", "generated"),
         )
         return result
 
@@ -197,6 +230,7 @@ class SuiteRunner:
             directory = tempfile.mkdtemp(prefix="repro-traces-")
             atexit.register(shutil.rmtree, directory, ignore_errors=True)
             self.trace_cache = TraceCache(directory)
+            self.trace_cache.tracer = self.tracer
         return self.trace_cache
 
     def compute_many(
@@ -221,6 +255,7 @@ class SuiteRunner:
                 if cached is not None:
                     self._results[key] = cached
                     self.metrics.units_from_checkpoint += 1
+                    self.tracer.event("checkpoint_hit", benchmark=benchmark)
                     continue
             todo[key] = None
         if not todo:
@@ -249,6 +284,7 @@ class SuiteRunner:
             policy=self.policy,
             metrics=self.metrics,
             progress=self.progress,
+            tracer=self.tracer,
         )
 
         def on_result(unit, result) -> None:
@@ -263,10 +299,11 @@ class SuiteRunner:
 
         Extends the executor-level record with the parent-side trace-cache
         counters and the checkpoint-journal size, so ``--metrics-out``
-        captures the whole run in one document.
+        captures the whole run in one document.  ``workers`` is fixed at
+        runner construction (and only ever raised by the executor), so the
+        record needs no post-hoc patching.
         """
         data = self.metrics.to_dict()
-        data["workers"] = self.workers
         if self.trace_cache is not None:
             stats = self.trace_cache.stats
             data["parent_trace_cache"] = {

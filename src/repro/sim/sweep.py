@@ -69,6 +69,9 @@ def sweep(
             as it completes (used by long-running benches).
     """
     runner = runner or shared_runner()
+    tracer = getattr(runner, "tracer", None)
+    if tracer is not None:
+        tracer.event("sweep_start", points=len(configs))
     if getattr(runner, "workers", 1) > 1 and hasattr(runner, "compute_many"):
         # Parallel runner: fan the whole grid out as one work-unit batch
         # before the (now memo-hitting) serial collection loop below, so
@@ -107,6 +110,8 @@ def sweep(
             augmented["AVG"] = sum(rates[name] for name in members) / len(members)
         result.points[point] = augmented
         completed += 1
+        if tracer is not None:
+            tracer.event("sweep_point", point=str(point), completed=completed)
         if progress is not None:
             progress(point)
     return result

@@ -165,7 +165,7 @@ class TestParallelCli:
                      "--metrics-out", str(metrics_path)]) == 0
         assert "fig2" in capsys.readouterr().out
         data = json.loads(metrics_path.read_text())
-        assert data["schema"] == "repro-run-metrics/1"
+        assert data["schema"] == "repro-run-metrics/2"
         assert data["workers"] == 2
         assert data["units"]["completed"] > 0
         assert data["units"]["poisoned"] == 0
@@ -177,3 +177,32 @@ class TestParallelCli:
         serial_out = capsys.readouterr().out
         assert main(serial_argv + ["--workers", "2"]) == 0
         assert capsys.readouterr().out == serial_out
+
+
+class TestTraceLogCli:
+    def test_simulate_trace_log_and_output_unchanged(self, tmp_path, capsys):
+        from repro.runtime.telemetry import read_trace_log
+
+        argv = ["simulate", "btb", "perl", "ixx", "--scale", "0.05"]
+        assert main(argv) == 0
+        plain_out = capsys.readouterr().out
+        log_path = tmp_path / "logs" / "trace.jsonl"
+        assert main(argv + ["--trace-log", str(log_path)]) == 0
+        # Telemetry must not perturb results: rendering is bit-identical.
+        assert capsys.readouterr().out == plain_out
+        records = read_trace_log(log_path)
+        spans = {r["name"] for r in records if r["kind"] == "span"}
+        assert "simulate" in spans
+
+    def test_experiments_trace_log_with_workers(self, tmp_path, monkeypatch):
+        from repro.runtime.telemetry import read_trace_log
+
+        monkeypatch.setenv("REPRO_TRACE_SCALE", "0.01")
+        log_path = tmp_path / "trace.jsonl"
+        assert main(["experiments", "fig2",
+                     "--checkpoint-dir", str(tmp_path / "ckpt"),
+                     "--workers", "2",
+                     "--trace-log", str(log_path)]) == 0
+        records = read_trace_log(log_path)
+        events = {r["name"] for r in records if r["kind"] == "event"}
+        assert {"journal_replay", "pool_start", "dispatch"} <= events

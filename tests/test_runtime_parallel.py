@@ -175,7 +175,8 @@ class TestParallelCheckpointResume:
         runner = make_runner(tmp_path, "metrics", workers=2)
         runner.rates(CONFIGS["btb"])
         data = json.loads(json.dumps(runner.metrics_summary()))
-        assert data["schema"] == "repro-run-metrics/1"
+        assert data["schema"] == "repro-run-metrics/2"
+        assert data["phases"]["simulate"]["count"] >= len(BENCHMARKS)
         assert data["workers"] == 2
         assert data["units"]["completed"] == len(BENCHMARKS)
         assert data["checkpoint_entries"] == len(BENCHMARKS)

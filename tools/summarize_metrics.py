@@ -1,0 +1,118 @@
+"""Render a run-metrics or trace-log file as human-readable tables.
+
+Accepts either telemetry artefact the CLI can produce:
+
+* a ``--metrics-out`` JSON document (schema ``repro-run-metrics/2``) —
+  prints the phase breakdown, unit counters, and worker utilisation;
+* a ``--trace-log`` JSONL file (schema ``repro-trace-log/1``) — aggregates
+  its spans into the same phase table plus per-event counts.
+
+Usage::
+
+    python tools/summarize_metrics.py runs/metrics.json
+    python tools/summarize_metrics.py runs/trace.jsonl
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.runtime.telemetry import TRACE_LOG_SCHEMA, read_trace_log  # noqa: E402
+from repro.sim.reporting import format_table  # noqa: E402
+
+
+def phase_table(phases: "dict", title: str) -> str:
+    """``{phase: {seconds, count}}`` as a table with a share column."""
+    total = sum(stats["seconds"] for stats in phases.values()) or 1.0
+    rows = [
+        [name, round(stats["seconds"], 4), stats["count"],
+         f"{100.0 * stats['seconds'] / total:.1f}%"]
+        for name, stats in sorted(
+            phases.items(), key=lambda kv: -kv[1]["seconds"])
+    ]
+    return format_table(["phase", "seconds", "count", "share"], rows,
+                        title=title)
+
+
+def summarize_metrics(data: dict) -> str:
+    schema = data.get("schema", "<missing>")
+    blocks = [phase_table(data.get("phases", {}),
+                          f"phase breakdown ({schema})")]
+    units = data.get("units", {})
+    rows = [[key, units.get(key, 0)]
+            for key in ("total", "completed", "from_checkpoint",
+                        "requeued", "poisoned")]
+    rows.append(["worker_crashes", data.get("worker_crashes", 0)])
+    rows.append(["wall_time_s", data.get("wall_time_s", 0.0)])
+    rows.append(["workers", data.get("workers", 0)])
+    blocks.append(format_table(["units", "count"], rows, title="run"))
+    utilization = data.get("worker_utilization", {})
+    if utilization:
+        blocks.append(format_table(
+            ["worker", "busy fraction"],
+            [[worker, busy] for worker, busy in sorted(utilization.items())],
+            title="worker utilisation"))
+    loads = data.get("trace_loads", {})
+    if loads:
+        blocks.append(format_table(
+            ["trace source", "loads"],
+            [[source, count] for source, count in sorted(loads.items())],
+            title="trace loads"))
+    return "\n\n".join(blocks)
+
+
+def summarize_trace_log(records: "list") -> str:
+    phases: "dict" = {}
+    events: "dict" = {}
+    for record in records:
+        if record.get("kind") == "span":
+            stats = phases.setdefault(record["name"],
+                                      {"seconds": 0.0, "count": 0})
+            stats["seconds"] += record.get("dur_s", 0.0)
+            stats["count"] += 1
+        elif record.get("kind") == "event":
+            events[record["name"]] = events.get(record["name"], 0) + 1
+    blocks = [phase_table(phases, f"span breakdown ({TRACE_LOG_SCHEMA})")]
+    if events:
+        blocks.append(format_table(
+            ["event", "count"],
+            [[name, count] for name, count in sorted(events.items())],
+            title="events"))
+    return "\n\n".join(blocks)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Summarize a --metrics-out or --trace-log file.")
+    parser.add_argument("file", help="metrics JSON or trace-log JSONL path")
+    args = parser.parse_args(argv)
+
+    path = Path(args.file)
+    text = path.read_text(encoding="utf-8")
+    # A trace log is JSONL with a schema header on line 1; a metrics
+    # document is one (pretty-printed) JSON object.
+    try:
+        header = json.loads(text.splitlines()[0] if text else "")
+    except ValueError:
+        header = None
+    if isinstance(header, dict) and header.get("schema") == TRACE_LOG_SCHEMA:
+        print(summarize_trace_log(read_trace_log(path)))
+        return 0
+    try:
+        data = json.loads(text)
+    except ValueError:
+        print(f"error: {path} is neither a metrics JSON document nor a "
+              f"trace log", file=sys.stderr)
+        return 1
+    print(summarize_metrics(data))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `summarize_metrics.py run.json | head`
+        sys.exit(0)
