@@ -2,12 +2,17 @@
 
 Usage::
 
-    python .github/workflows/check_metrics_schema.py METRICS.json TRACE.jsonl
+    python .github/workflows/check_metrics_schema.py METRICS.json TRACE.jsonl \
+        [ATTRIBUTION.jsonl]
 
 Validates a ``--metrics-out`` document against ``repro-run-metrics/2``
-(top-level keys, unit counters, per-phase breakdown shape) and a
+(top-level keys, unit counters, per-phase breakdown shape), a
 ``--trace-log`` file against ``repro-trace-log/1`` (header line, one JSON
-record per line, span/event record shapes).
+record per line, span/event record shapes), and — when a third path is
+given — an ``--attribution`` artifact against ``repro-attribution/1``
+(header, record/summary shapes, and the exactness invariant: per-cause
+counts sum to the misprediction total, per record, per site, and in the
+aggregate summary).
 """
 
 import json
@@ -15,6 +20,13 @@ import sys
 
 METRICS_SCHEMA = "repro-run-metrics/2"
 TRACE_LOG_SCHEMA = "repro-trace-log/1"
+ATTRIBUTION_SCHEMA = "repro-attribution/1"
+CAUSES = {"cold", "capacity", "conflict", "training", "metapredictor",
+          "unknown"}
+ATTRIBUTION_RECORD_KEYS = {
+    "kind", "benchmark", "predictor", "events", "mispredictions", "causes",
+    "sites", "site_count", "tables", "confusion",
+}
 
 METRICS_KEYS = {
     "schema", "workers", "wall_time_s", "phases", "units", "worker_crashes",
@@ -72,10 +84,63 @@ def check_trace_log(path: str) -> None:
           f"({spans} spans, {events} events)")
 
 
+def check_attribution(path: str) -> None:
+    lines = open(path).read().splitlines()
+    assert lines, "empty attribution artifact"
+    header = json.loads(lines[0])
+    assert header.get("schema") == ATTRIBUTION_SCHEMA, header
+    assert "pid" not in header, "attribution header must be deterministic"
+    records = summaries = 0
+    totals = {"events": 0, "mispredictions": 0}
+    cause_totals = {cause: 0 for cause in CAUSES}
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        kind = record.get("kind")
+        if kind == "record":
+            assert set(record) == ATTRIBUTION_RECORD_KEYS, \
+                f"line {number}: keys {sorted(record)}"
+            causes = record["causes"]
+            assert set(causes) == CAUSES, f"line {number}: {sorted(causes)}"
+            assert sum(causes.values()) == record["mispredictions"], \
+                f"line {number}: cause counts do not sum to mispredictions"
+            assert 0 <= record["mispredictions"] <= record["events"]
+            assert len(record["sites"]) <= record["site_count"]
+            for site in record["sites"]:
+                assert sum(site["causes"].values()) == site["misses"], \
+                    f"line {number}: site {site['pc']:#x} causes != misses"
+                assert 0 <= site["misses"] <= site["executions"]
+                assert set(site["causes"]) <= CAUSES, site
+            for table in record["tables"]:
+                assert table["entries"] >= 0, table
+                if table["capacity"] is not None:
+                    assert table["entries"] <= table["capacity"], table
+            totals["events"] += record["events"]
+            totals["mispredictions"] += record["mispredictions"]
+            for cause, count in causes.items():
+                cause_totals[cause] += count
+            records += 1
+        elif kind == "summary":
+            assert record["records"] == records, \
+                f"line {number}: summary records != preceding record count"
+            assert record["events"] == totals["events"], f"line {number}"
+            assert record["mispredictions"] == totals["mispredictions"], \
+                f"line {number}"
+            assert record["causes"] == cause_totals, f"line {number}"
+            summaries += 1
+        else:
+            raise AssertionError(f"line {number}: kind {kind!r}")
+    assert records > 0, "attribution artifact has no records"
+    assert summaries == 1, f"expected exactly one summary, got {summaries}"
+    print(f"{path}: valid {ATTRIBUTION_SCHEMA} "
+          f"({records} records, {totals['mispredictions']} misses attributed)")
+
+
 def main() -> None:
     metrics_path, trace_log_path = sys.argv[1], sys.argv[2]
     check_metrics(metrics_path)
     check_trace_log(trace_log_path)
+    if len(sys.argv) > 3:
+        check_attribution(sys.argv[3])
 
 
 if __name__ == "__main__":

@@ -22,10 +22,12 @@ the (config, benchmark) work units on a crash-recovering worker pool —
 results are bit-identical to serial runs — ``--metrics-out FILE`` to
 write the run's JSON metrics record (``repro-run-metrics/2``: per-phase
 breakdown, unit wall times, queue depth, worker utilisation, trace-cache
-hits/misses), and ``--trace-log FILE`` to stream the structured
-telemetry log (``repro-trace-log/1``, one fsync'd JSON line per
-span/event); ``tools/summarize_metrics.py`` renders either file as a
-phase table.
+hits/misses), ``--trace-log FILE`` to stream the structured telemetry
+log (``repro-trace-log/1``, one fsync'd JSON line per span/event), and
+``--attribution FILE`` to run the instrumented misprediction-attribution
+loop and write its per-cause / per-site / per-component artifact
+(``repro-attribution/1``, rendered by ``tools/attribution_report.py``);
+``tools/summarize_metrics.py`` renders the first two as a phase table.
 
 ``trace BENCHMARK FILE``
     Generate a benchmark trace and write it to ``FILE`` (binary format, or
@@ -49,28 +51,47 @@ from .workloads import generate_trace, save_trace, save_trace_text, workload_con
 from .workloads.suite import GROUPS, benchmark_names
 
 
+def _prepare_output(path: Optional[str]) -> None:
+    """Create an output file's parent directories up front.
+
+    Called at runner construction for every ``--*-out``-style flag, so a
+    bad path (unwritable parent, a file where a directory is needed)
+    fails before any simulation time is spent; the ``OSError`` reaches
+    :func:`main` and exits 1 cleanly.
+    """
+    if path:
+        Path(path).parent.mkdir(parents=True, exist_ok=True)
+
+
 def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     """The runner implied by the shared simulation flags.
 
     ``--checkpoint-dir`` always builds a durable runner; ``--workers`` /
-    ``--scale`` need a dedicated runner too (the process-wide shared one
-    is serial and unscaled); otherwise the shared runner is reused so
-    repeated CLI calls in one process share traces.
+    ``--scale`` / ``--trace-log`` / ``--attribution`` need a dedicated
+    runner too (the process-wide shared one is serial, unscaled, and
+    uninstrumented); otherwise the shared runner is reused so repeated
+    CLI calls in one process share traces.
     """
     scale = getattr(args, "scale", None)
     workers = getattr(args, "workers", 1)
     trace_log = getattr(args, "trace_log", None)
+    attribution = getattr(args, "attribution", None)
+    _prepare_output(trace_log)
+    _prepare_output(attribution)
+    _prepare_output(getattr(args, "metrics_out", None))
     if args.checkpoint_dir:
         runner = checkpointed_runner(
             args.checkpoint_dir, resume=args.resume, scale=scale,
             workers=workers, trace_log=trace_log,
+            attribution=bool(attribution),
         )
         if args.resume and len(runner.checkpoint):
             print(f"resuming: {len(runner.checkpoint)} checkpointed "
                   f"simulation(s) will not be re-run", file=sys.stderr)
         return runner
-    if workers > 1 or scale is not None or trace_log:
-        return SuiteRunner(scale=scale, workers=workers, trace_log=trace_log)
+    if workers > 1 or scale is not None or trace_log or attribution:
+        return SuiteRunner(scale=scale, workers=workers, trace_log=trace_log,
+                           attribution=bool(attribution))
     return shared_runner()
 
 
@@ -82,6 +103,11 @@ def _write_metrics(runner: SuiteRunner, path: Optional[str]) -> None:
     target.write_text(
         json.dumps(runner.metrics_summary(), indent=2, sort_keys=True) + "\n"
     )
+
+
+def _write_attribution(runner: SuiteRunner, path: Optional[str]) -> None:
+    if path:
+        runner.write_attribution(path)
 
 
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
@@ -105,6 +131,13 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         help="write the structured telemetry log "
                              "(repro-trace-log/1: one fsync'd JSON line "
                              "per span/event)")
+    parser.add_argument("--attribution", metavar="FILE",
+                        help="classify every misprediction (cold, "
+                             "capacity, conflict, training, "
+                             "metapredictor) and write the per-cause / "
+                             "per-site / per-component artifact "
+                             "(repro-attribution/1; render with "
+                             "tools/attribution_report.py)")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -122,6 +155,9 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
             if out_dir is not None:
                 (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
     finally:
+        # Attribution first: its write span then lands in the metrics
+        # record's phase breakdown.
+        _write_attribution(runner, args.attribution)
         _write_metrics(runner, args.metrics_out)
         runner.tracer.close()
     return 0
@@ -134,6 +170,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     try:
         rates = runner.rates_with_groups(config, names)
     finally:
+        _write_attribution(runner, args.attribution)
         _write_metrics(runner, args.metrics_out)
         runner.tracer.close()
     rows = [[name, round(rate, 2)] for name, rate in rates.items()

@@ -16,6 +16,14 @@ differential simulation, exactly as an architect would:
 
 It also provides a per-site breakdown and a warm-up split, both used by
 the examples and handy when calibrating workloads.
+
+Since the attribution engine landed (:mod:`repro.sim.attribution`) the
+simulation loops live there: this module's differential *definitions*
+(deltas between reference configurations) are kept, but every reference
+run is an instrumented :func:`~repro.sim.attribution.attribute` call —
+whose miss totals are exactly the fast path's — so the numbers here are
+bit-identical to the pre-delegation implementation while each run now
+also yields the per-miss cause classification for free.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from typing import Dict, Optional, Tuple
 from ..core.config import TwoLevelConfig
 from ..core.factory import build_predictor
 from ..errors import ConfigError
+from ..sim.attribution import attribute
 from ..workloads.trace import Trace
 
 
@@ -74,13 +83,13 @@ def decompose_misses(config: TwoLevelConfig, trace: Trace) -> MissBreakdown:
     """
     if config.num_entries is None:
         raise ConfigError("decompose_misses needs a size-constrained config")
-    constrained = build_predictor(config).run_trace(trace.pcs, trace.targets)
-    fully_associative = build_predictor(
-        replace(config, associativity="full")
-    ).run_trace(trace.pcs, trace.targets)
-    unconstrained = build_predictor(
-        replace(config, num_entries=None, associativity="full")
-    ).run_trace(trace.pcs, trace.targets)
+    constrained = attribute(config, trace).mispredictions
+    fully_associative = attribute(
+        replace(config, associativity="full"), trace
+    ).mispredictions
+    unconstrained = attribute(
+        replace(config, num_entries=None, associativity="full"), trace
+    ).mispredictions
     return MissBreakdown(
         benchmark=trace.name,
         events=len(trace),
@@ -110,29 +119,21 @@ def per_site_breakdown(
 ) -> Tuple[SiteReport, ...]:
     """Per-site misprediction report, hottest offenders first.
 
-    Accepts any predictor config; runs the stepwise interface so it works
-    for hybrids too.
+    Accepts any predictor config; delegates to the attribution engine,
+    which classifies sites for every predictor family (hybrids included).
+    Site ordering is unchanged from the historical stepwise loop: sites
+    tie-broken by first occurrence in the trace, stable-sorted by miss
+    count descending.
     """
-    predictor = build_predictor(config)  # type: ignore[arg-type]
-    executions: Dict[int, int] = {}
-    misses: Dict[int, int] = {}
-    targets: Dict[int, set] = {}
-    predict = predictor.predict
-    update = predictor.update
-    for pc, target in trace:
-        executions[pc] = executions.get(pc, 0) + 1
-        if predict(pc) != target:
-            misses[pc] = misses.get(pc, 0) + 1
-        update(pc, target)
-        targets.setdefault(pc, set()).add(target)
+    result = attribute(config, trace)
     reports = [
         SiteReport(
-            pc=pc,
-            executions=count,
-            misses=misses.get(pc, 0),
-            distinct_targets=len(targets[pc]),
+            pc=stats.pc,
+            executions=stats.executions,
+            misses=stats.misses,
+            distinct_targets=len(stats.targets),
         )
-        for pc, count in executions.items()
+        for stats in result.sites.values()
     ]
     reports.sort(key=lambda report: report.misses, reverse=True)
     return tuple(reports[:top] if top is not None else reports)

@@ -60,6 +60,11 @@ class BranchTargetBuffer:
         )
 
     @property
+    def table(self) -> BasePredictionTable:
+        """The underlying prediction table (read by the attribution engine)."""
+        return self._table
+
+    @property
     def stored_entries(self) -> int:
         """Number of branches currently cached (diagnostics)."""
         return len(self._table)

@@ -39,26 +39,62 @@ class HybridPredictor:
 
     # -- single-branch interface -----------------------------------------
 
-    def predict(self, pc: int) -> Optional[int]:
-        entries = [component.probe(pc) for component in self.components]
+    def component_entries(self, pc: int) -> List[Optional[object]]:
+        """Per-component table entries for the branch at ``pc`` (probes)."""
+        return [component.probe(pc) for component in self.components]
+
+    def select_component(
+        self, pc: int, entries: Sequence[Optional[object]]
+    ) -> tuple:
+        """``(component index, predicted target)`` the hybrid follows.
+
+        ``entries`` are the per-component probe results for ``pc`` (see
+        :meth:`component_entries`).  The index names the component whose
+        table entry supplies the prediction.  With BPST metaprediction and
+        no entry in either component it is the selector's preferred
+        component; with confidence arbitration it is ``None`` when no
+        component has an entry.  Used by :meth:`predict` and by the
+        attribution engine to pin a miss on a component.
+        """
         if self._bpst is not None:
             chosen = self._bpst.select(pc)
             entry = entries[chosen]
-            if entry is None:
+            if entry is None and entries[1 - chosen] is not None:
                 # The selected component has nothing; fall back to the other
                 # so a BPST hybrid is never worse than "no prediction" when
                 # one component does have an entry.
-                entry = entries[1 - chosen]
-            return entry.target if entry is not None else None
+                chosen = 1 - chosen
+                entry = entries[chosen]
+            return chosen, entry.target if entry is not None else None
         index = self._confidence.select(entries)
-        return entries[index].target if index is not None else None
+        if index is None:
+            return None, None
+        return index, entries[index].target
+
+    def train_selector(
+        self, pc: int, entries: Sequence[Optional[object]], target: int
+    ) -> None:
+        """Record the per-component votes with the BPST selector.
+
+        A no-op for confidence metaprediction (its state lives in the
+        table entries and is maintained by ``commit``).  Exposed so the
+        attribution engine can replay exactly the selector training the
+        fast trace loop performs.
+        """
+        if self._bpst is not None:
+            self._bpst.record(
+                pc,
+                entries[0] is not None and entries[0].target == target,
+                entries[1] is not None and entries[1].target == target,
+            )
+
+    def predict(self, pc: int) -> Optional[int]:
+        _, predicted = self.select_component(pc, self.component_entries(pc))
+        return predicted
 
     def update(self, pc: int, target: int) -> None:
         if self._bpst is not None:
-            predictions = [component.predict(pc) for component in self.components]
-            self._bpst.record(
-                pc, predictions[0] == target, predictions[1] == target
-            )
+            self.train_selector(pc, self.component_entries(pc), target)
         for component in self.components:
             component.update(pc, target)
 

@@ -24,6 +24,23 @@ All tables implement:
     hysteresis) to a hit, allocates/replaces on a miss, and maintains the
     entry's confidence counter (incremented when the stored target matched,
     decremented otherwise, reset to zero on replacement).
+
+Tables additionally expose a narrow observation hook for the misprediction
+attribution engine (:mod:`repro.sim.attribution`): setting ``observer`` to
+an object implementing
+
+``evicted(key, cause)``
+    an entry for ``key`` was removed by replacement (``cause`` is
+    ``"capacity"`` for global LRU eviction, ``"conflict"`` for per-set
+    eviction in a set-associative table);
+``wrote(index, key)``
+    a tagless slot now stores ``key``'s target (allocation or target
+    replacement) — the aliasing bookkeeping behind conflict attribution
+
+makes replacement activity visible without touching the lookup path.  The
+default ``observer`` is ``None`` and the extra checks sit only on commit's
+write/eviction branches, so the fast simulation paths are unaffected when
+attribution is off.
 """
 
 from __future__ import annotations
@@ -70,6 +87,11 @@ def _is_power_of_two(value: int) -> bool:
 class BasePredictionTable:
     """Shared update semantics for all table organisations."""
 
+    #: Optional attribution hook (see the module docstring).  Class-level
+    #: default so the fast constructors stay untouched; the attribution
+    #: engine sets an instance attribute for the duration of a run.
+    observer = None
+
     def __init__(self, update_rule: str = "2bc", confidence_bits: int = 2) -> None:
         if update_rule not in UPDATE_RULES:
             raise ConfigError(
@@ -96,20 +118,26 @@ class BasePredictionTable:
 
     # -- shared helpers ----------------------------------------------------
 
-    def _apply_update(self, entry: Entry, actual_target: int) -> None:
-        """Update a resident entry after the branch resolves."""
+    def _apply_update(self, entry: Entry, actual_target: int) -> bool:
+        """Update a resident entry after the branch resolves.
+
+        Returns ``True`` when the entry now stores ``actual_target`` (it
+        already matched, or the update rule replaced it) — the signal the
+        tagless ``wrote`` hook needs to track slot ownership.
+        """
         if entry.target == actual_target:
             entry.miss_bit = 0
             if entry.confidence < self.confidence_max:
                 entry.confidence += 1
-            return
+            return True
         if entry.confidence > 0:
             entry.confidence -= 1
         if self.update_rule == "always" or entry.miss_bit:
             entry.target = actual_target
             entry.miss_bit = 0
-        else:
-            entry.miss_bit = 1
+            return True
+        entry.miss_bit = 1
+        return False
 
 
 class UnconstrainedTable(BasePredictionTable):
@@ -171,7 +199,9 @@ class FullyAssociativeTable(BasePredictionTable):
             self._apply_update(entry, actual_target)
             return
         if len(entries) >= self.num_entries:
-            entries.popitem(last=False)
+            evicted_key, _ = entries.popitem(last=False)
+            if self.observer is not None:
+                self.observer.evicted(evicted_key, "capacity")
         entries[key] = Entry(actual_target)
 
     def __len__(self) -> int:
@@ -230,7 +260,13 @@ class SetAssociativeTable(BasePredictionTable):
             self._apply_update(entry, actual_target)
             return
         if len(ways) >= self.associativity:
-            del ways[next(iter(ways))]
+            victim_tag = next(iter(ways))
+            del ways[victim_tag]
+            if self.observer is not None:
+                self.observer.evicted(
+                    (victim_tag << self.index_bits) | (key & self._index_mask),
+                    "conflict",
+                )
         ways[tag] = Entry(actual_target)
 
     def __len__(self) -> int:
@@ -276,8 +312,11 @@ class TaglessTable(BasePredictionTable):
         entry = self._entries[index]
         if entry is None:
             self._entries[index] = Entry(actual_target)
-        else:
-            self._apply_update(entry, actual_target)
+            if self.observer is not None:
+                self.observer.wrote(index, key)
+        elif self._apply_update(entry, actual_target):
+            if self.observer is not None:
+                self.observer.wrote(index, key)
 
     def __len__(self) -> int:
         return sum(1 for entry in self._entries if entry is not None)

@@ -109,6 +109,7 @@ def checkpointed_runner(
     policy: Optional[object] = None,
     workers: int = 1,
     trace_log: Optional[Union[str, Path]] = None,
+    attribution: bool = False,
 ):
     """A :class:`~repro.sim.suite_runner.SuiteRunner` with durability.
 
@@ -131,6 +132,11 @@ def checkpointed_runner(
     ``trace_log`` attaches the structured JSONL telemetry sink
     (``repro-trace-log/1``) to the runner's tracer — one fsync'd line per
     span/event, the ``--trace-log`` CLI flag.
+
+    ``attribution=True`` runs every fresh simulation under the
+    instrumented misprediction-attribution loop (``--attribution``);
+    collected records are written by
+    :meth:`~repro.sim.suite_runner.SuiteRunner.write_attribution`.
     """
     from ..runtime.checkpoint import CheckpointJournal
     from ..sim.suite_runner import SuiteRunner
@@ -146,4 +152,5 @@ def checkpointed_runner(
         policy=policy,
         workers=workers,
         trace_log=trace_log,
+        attribution=attribution,
     )

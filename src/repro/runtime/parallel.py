@@ -67,13 +67,14 @@ def _worker_main(
     scale: Optional[float],
     task_queue: "multiprocessing.Queue",
     result_queue: "multiprocessing.Queue",
+    attribution: bool = False,
 ) -> None:
     """Worker loop: pull (unit_id, config, benchmark), simulate, report.
 
     Messages back to the parent::
 
         ("ok",  worker_id, unit_id, SimulationResult, trace_source,
-                seconds, load_seconds)
+                seconds, load_seconds, attribution_record_or_None)
         ("err", worker_id, unit_id, error_type_name, error_message, seconds)
 
     ``trace_source`` records where the trace came from (``memo`` — this
@@ -83,12 +84,20 @@ def _worker_main(
     ``seconds`` spent obtaining the trace (0 for a memo hit), so the
     parent's tracer can attribute worker time to the load/generate vs
     simulate phases without sharing a tracer across processes.
+
+    With ``attribution`` enabled each unit runs the instrumented
+    classifying loop and the final "ok" field carries the unit's
+    serialized ``repro-attribution/1`` record (already normalized by the
+    collector, so the parent merges dicts identical to the serial path's).
     """
     from ..core.factory import build_predictor
     from ..sim.engine import simulate
     from ..workloads.program import generate_trace
     from ..workloads.suite import workload_config
     from .faults import maybe_crash_worker, maybe_hang_worker
+
+    if attribution:
+        from ..sim.attribution import AttributionCollector
 
     cache = TraceCache(cache_dir)
     traces: Dict[str, object] = {}
@@ -123,7 +132,12 @@ def _worker_main(
                     source = "generated"
                 load_seconds = time.perf_counter() - load_start
             traces[benchmark] = trace
-            result = simulate(build_predictor(config), trace)
+            collector = AttributionCollector() if attribution else None
+            result = simulate(build_predictor(config), trace,
+                              attribution=collector)
+            attribution_record = (
+                collector.records()[0] if collector is not None else None
+            )
         except Exception as exc:  # reported, requeued/poisoned by the parent
             result_queue.put((
                 "err", worker_id, unit_id,
@@ -133,7 +147,7 @@ def _worker_main(
             continue
         result_queue.put((
             "ok", worker_id, unit_id, result, source,
-            time.perf_counter() - start, load_seconds,
+            time.perf_counter() - start, load_seconds, attribution_record,
         ))
 
 
@@ -232,6 +246,10 @@ class ParallelExecutor:
             dispatch/requeue/poison/respawn events and worker-reported
             load/simulate phase times are recorded through it.  Defaults
             to a fresh tracer feeding ``metrics``.
+        attribution: run every unit under the instrumented attribution
+            loop; each completion then ships its serialized attribution
+            record back with the result (see ``run``'s
+            ``on_attribution``).
         mp_context: ``multiprocessing`` context override (tests).
     """
 
@@ -244,6 +262,7 @@ class ParallelExecutor:
         metrics: Optional[RunMetrics] = None,
         progress: bool = True,
         tracer: Optional[Tracer] = None,
+        attribution: bool = False,
         mp_context: Optional[object] = None,
     ) -> None:
         if workers < 1:
@@ -260,6 +279,7 @@ class ParallelExecutor:
         self.metrics = metrics if metrics is not None else RunMetrics()
         self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
         self.progress_enabled = progress
+        self.attribution = attribution
         self._ctx = mp_context or multiprocessing.get_context()
         self._next_worker_id = 0
 
@@ -272,7 +292,7 @@ class ParallelExecutor:
         process = self._ctx.Process(
             target=_worker_main,
             args=(worker_id, os.getpid(), str(self.trace_cache.directory),
-                  self.scale, task_queue, result_queue),
+                  self.scale, task_queue, result_queue, self.attribution),
             name=f"repro-sim-worker-{worker_id}",
             daemon=True,
         )
@@ -300,15 +320,18 @@ class ParallelExecutor:
         self,
         units: Sequence[WorkUnit],
         on_result: Optional[Callable[[WorkUnit, object], None]] = None,
+        on_attribution: Optional[Callable[[WorkUnit, dict], None]] = None,
     ) -> Dict[int, object]:
         """Execute ``units``; returns ``{unit_id: SimulationResult}``.
 
         ``on_result`` is invoked in the parent, in completion order, as
-        each unit finishes — the journalling hook.  If any unit exhausts
-        its retry budget, the remaining units still run to completion and
-        a :class:`SimulationError` carrying the poisoned units' labels,
-        attempt counts, and per-attempt errors in ``context`` is raised at
-        the end.
+        each unit finishes — the journalling hook.  With attribution
+        enabled, ``on_attribution`` follows it with the unit's serialized
+        attribution record (the collector-merge hook).  If any unit
+        exhausts its retry budget, the remaining units still run to
+        completion and a :class:`SimulationError` carrying the poisoned
+        units' labels, attempt counts, and per-attempt errors in
+        ``context`` is raised at the end.
         """
         units = list(units)
         scheduler = Scheduler(units, max_attempts=self.policy.max_attempts)
@@ -334,7 +357,8 @@ class ParallelExecutor:
                 message = self._poll_results(result_queue)
                 if message is not None:
                     self._handle_message(
-                        message, pool, scheduler, unit_by_id, results, on_result,
+                        message, pool, scheduler, unit_by_id, results,
+                        on_result, on_attribution,
                     )
                 self._reap_workers(pool, scheduler, result_queue, respawn_budget)
                 progress.update(
@@ -392,6 +416,7 @@ class ParallelExecutor:
         unit_by_id: Dict[int, WorkUnit],
         results: Dict[int, object],
         on_result: Optional[Callable[[WorkUnit, object], None]],
+        on_attribution: Optional[Callable[[WorkUnit, dict], None]] = None,
     ) -> None:
         kind, worker_id, unit_id = message[0], message[1], message[2]
         handle = pool.get(worker_id)
@@ -400,7 +425,8 @@ class ParallelExecutor:
             handle.unit = None  # worker is idle again
         unit = unit_by_id[unit_id]
         if kind == "ok":
-            _, _, _, result, trace_source, seconds, load_seconds = message
+            (_, _, _, result, trace_source, seconds, load_seconds,
+             attribution_record) = message
             if scheduler.complete(unit_id):
                 results[unit_id] = result
                 # Attribute the worker-reported split to the run's phase
@@ -421,6 +447,8 @@ class ParallelExecutor:
                 )
                 if on_result is not None:
                     on_result(unit, result)
+                if on_attribution is not None and attribution_record is not None:
+                    on_attribution(unit, attribution_record)
         else:
             _, _, _, error_type, error_message, _seconds = message
             error = f"{error_type}: {error_message}"

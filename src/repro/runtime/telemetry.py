@@ -58,11 +58,21 @@ class TraceLogWriter:
     a SIGKILLed run loses at most the record in flight.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(
+        self,
+        path: PathLike,
+        schema: str = TRACE_LOG_SCHEMA,
+        include_pid: bool = True,
+    ) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._stream = open(self.path, "w", encoding="utf-8")
-        self.write({"schema": TRACE_LOG_SCHEMA, "pid": os.getpid()})
+        header = {"schema": schema}
+        if include_pid:
+            # Deterministic artifacts (attribution) omit the pid so serial
+            # and parallel runs stay byte-identical.
+            header["pid"] = os.getpid()
+        self.write(header)
 
     def write(self, record: dict) -> None:
         if self._stream.closed:  # pragma: no cover - post-close stragglers
@@ -202,13 +212,15 @@ class Tracer:
 NULL_TRACER = Tracer()
 
 
-def read_trace_log(path: PathLike) -> List[dict]:
+def read_trace_log(path: PathLike, schema: str = TRACE_LOG_SCHEMA) -> List[dict]:
     """Parse a trace-log file; validates the header, tolerates a torn tail.
 
-    Returns the records after the header.  Raises ``ValueError`` when the
-    file is not a ``repro-trace-log/1`` log or an interior line is corrupt
-    (a torn *final* line — the signature of a SIGKILL mid-append — is
-    dropped, matching the checkpoint journal's recovery contract).
+    Returns the records after the header.  ``schema`` selects which JSONL
+    artifact family is expected (``repro-trace-log/1`` by default; the
+    attribution artifact reuses this reader with its own schema).  Raises
+    ``ValueError`` when the header does not match or an interior line is
+    corrupt (a torn *final* line — the signature of a SIGKILL mid-append —
+    is dropped, matching the checkpoint journal's recovery contract).
     """
     lines = Path(path).read_text(encoding="utf-8").splitlines()
     if not lines:
@@ -217,9 +229,9 @@ def read_trace_log(path: PathLike) -> List[dict]:
         header = json.loads(lines[0])
     except ValueError:
         raise ValueError(f"{path}: unreadable trace-log header") from None
-    if header.get("schema") != TRACE_LOG_SCHEMA:
+    if header.get("schema") != schema:
         raise ValueError(
-            f"{path}: not a {TRACE_LOG_SCHEMA} log (header {header!r})"
+            f"{path}: not a {schema} log (header {header!r})"
         )
     records: List[dict] = []
     for index, line in enumerate(lines[1:], start=2):

@@ -1,5 +1,14 @@
 """Trace-driven simulation engine and sweep harness."""
 
+from .attribution import (
+    ATTRIBUTION_SCHEMA,
+    AttributionCollector,
+    AttributionResult,
+    CAUSES,
+    InstrumentedRun,
+    attribute,
+    read_attribution,
+)
 from .engine import SimulationResult, simulate
 from .groups import group_average, with_group_averages
 from .reporting import (
@@ -13,15 +22,22 @@ from .suite_runner import SuiteRunner, shared_runner
 from .sweep import SweepResult, grid, sweep
 
 __all__ = [
+    "ATTRIBUTION_SCHEMA",
+    "AttributionCollector",
+    "AttributionResult",
+    "CAUSES",
+    "InstrumentedRun",
     "SimulationResult",
     "SuiteRunner",
     "SweepResult",
+    "attribute",
     "format_comparison",
     "format_series",
     "format_table",
     "grid",
     "group_average",
     "percent",
+    "read_attribution",
     "shared_runner",
     "simulate",
     "summarize_shape",

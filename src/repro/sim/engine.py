@@ -82,6 +82,7 @@ def simulate(
     reset: bool = True,
     label: Optional[str] = None,
     tracer: Optional[object] = None,
+    attribution: Optional[object] = None,
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the misprediction result.
 
@@ -94,6 +95,13 @@ def simulate(
         tracer: optional :class:`~repro.runtime.telemetry.Tracer`; when
             given, the predictor run is timed as one ``simulate`` span
             (the run's per-phase breakdown and ``--trace-log`` feed).
+        attribution: optional
+            :class:`~repro.sim.attribution.AttributionCollector`; when
+            given, the run executes the instrumented classifying loop
+            instead of the fast path and deposits a per-cause/per-site
+            attribution record with the collector.  The returned miss
+            count comes from the same instrumented run (it matches the
+            fast path exactly); ``None`` keeps the fast path untouched.
     """
     if label is None:
         config = getattr(predictor, "config", None)
@@ -102,6 +110,12 @@ def simulate(
         predictor.reset()
 
     def run_events() -> int:
+        if attribution is not None:
+            from .attribution import InstrumentedRun
+
+            record = InstrumentedRun(predictor).run(trace, label=str(label))
+            attribution.add(record)
+            return record.mispredictions
         run = getattr(predictor, "run_trace", None)
         if run is not None:
             return run(trace.pcs, trace.targets)
@@ -109,8 +123,11 @@ def simulate(
         return default_run_trace(predictor, trace.pcs, trace.targets)
 
     if tracer is not None:
-        with tracer.span("simulate", benchmark=trace.name,
-                         predictor=str(label), events=len(trace)):
+        span = tracer.span("simulate", benchmark=trace.name,
+                           predictor=str(label), events=len(trace))
+        if attribution is not None:
+            span.annotate(attribution=True)
+        with span:
             misses = run_events()
     else:
         misses = run_events()

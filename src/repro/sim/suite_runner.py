@@ -56,6 +56,7 @@ class SuiteRunner:
         workers: int = 1,
         progress: bool = True,
         trace_log: Optional[object] = None,
+        attribution: bool = False,
     ) -> None:
         """Args beyond the suite subset and trace scale:
 
@@ -80,6 +81,14 @@ class SuiteRunner:
                 :class:`~repro.runtime.telemetry.TraceLogWriter`) for the
                 structured JSONL telemetry log; ``None`` keeps the tracer
                 in-memory only.
+            attribution: run every fresh simulation under the instrumented
+                misprediction-attribution loop (see
+                :mod:`repro.sim.attribution`) and collect per-cause /
+                per-site records, written out by
+                :meth:`write_attribution`.  Off by default — the fast
+                ``run_trace`` paths stay untouched.  Results replayed from
+                a checkpoint carry no attribution record (only the re-run
+                units are instrumented).
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -100,6 +109,14 @@ class SuiteRunner:
 
         self.metrics = RunMetrics(workers=workers)
         self.tracer = Tracer(sink=trace_log, metrics=self.metrics)
+        if attribution:
+            from .attribution import AttributionCollector
+
+            self.attribution: Optional[AttributionCollector] = (
+                AttributionCollector()
+            )
+        else:
+            self.attribution = None
         if cache_dir is None:
             self.trace_cache = None
         else:
@@ -187,7 +204,8 @@ class SuiteRunner:
             predictor = build_predictor(config)
             trace, sources["trace"] = self._trace_with_source(benchmark)
             if self._simulate is simulate:
-                return simulate(predictor, trace, tracer=self.tracer)
+                return simulate(predictor, trace, tracer=self.tracer,
+                                attribution=self.attribution)
             with self.tracer.span("simulate", benchmark=benchmark,
                                   predictor=str(label)):
                 return self._simulate(predictor, trace)
@@ -285,6 +303,7 @@ class SuiteRunner:
             metrics=self.metrics,
             progress=self.progress,
             tracer=self.tracer,
+            attribution=self.attribution is not None,
         )
 
         def on_result(unit, result) -> None:
@@ -292,7 +311,31 @@ class SuiteRunner:
             if self.checkpoint is not None:
                 self.checkpoint.record(unit.config, unit.benchmark, result)
 
-        executor.run(units, on_result=on_result)
+        def on_attribution(unit, record) -> None:
+            self.attribution.add_dict(record)
+
+        executor.run(
+            units,
+            on_result=on_result,
+            on_attribution=(
+                on_attribution if self.attribution is not None else None
+            ),
+        )
+
+    def write_attribution(self, path: object) -> bool:
+        """Write the collected ``repro-attribution/1`` artifact to ``path``.
+
+        Returns ``False`` (writing nothing) when the runner was built
+        without ``attribution=True``.  Serial and parallel runs over the
+        same work produce byte-identical artifacts: records are
+        normalized, truncated, and sorted the same way on both paths.
+        """
+        if self.attribution is None:
+            return False
+        with self.tracer.span("attribution_write", path=str(path),
+                              records=len(self.attribution)):
+            self.attribution.write(path)
+        return True
 
     def metrics_summary(self) -> Dict[str, object]:
         """The run's :class:`RunMetrics` as a JSON-ready dict.
@@ -314,6 +357,8 @@ class SuiteRunner:
             }
         if self.checkpoint is not None:
             data["checkpoint_entries"] = len(self.checkpoint)
+        if self.attribution is not None:
+            data["attribution_records"] = len(self.attribution)
         return data
 
     def rates(

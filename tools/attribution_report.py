@@ -1,0 +1,144 @@
+"""Render a ``repro-attribution/1`` artifact as human-readable tables.
+
+For each record (one predictor x benchmark pair) prints:
+
+* the per-cause misprediction breakdown (counts and percentage of
+  events), mirroring the paper's interference analysis — cold vs
+  capacity vs conflict vs training vs metapredictor misses;
+* the hot-site top-K: PC, executions, misses, target arity, and the
+  dominant cause per site;
+* per-table occupancy/utilization and eviction/interference counters;
+* the hybrid component confusion matrix (which component arbitration
+  followed vs which actually held the correct target).
+
+A final aggregate section totals the causes across all records.
+
+Usage::
+
+    python tools/attribution_report.py runs/attribution.jsonl
+    python tools/attribution_report.py runs/attribution.jsonl --top 10
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.sim.attribution import CAUSES, read_attribution  # noqa: E402
+from repro.sim.reporting import format_table  # noqa: E402
+
+
+def cause_table(record: dict, title: str) -> str:
+    events = record.get("events", 0) or 1
+    causes = record.get("causes", {})
+    rows = [
+        [cause, causes.get(cause, 0),
+         f"{100.0 * causes.get(cause, 0) / events:.2f}%"]
+        for cause in CAUSES
+        if causes.get(cause, 0) or cause != "unknown"
+    ]
+    rows.append(["total", record.get("mispredictions", 0),
+                 f"{100.0 * record.get('mispredictions', 0) / events:.2f}%"])
+    return format_table(["cause", "misses", "of events"], rows, title=title)
+
+
+def site_table(record: dict, top: int) -> str:
+    rows = []
+    for site in record.get("sites", [])[:top]:
+        causes = site.get("causes", {})
+        dominant = max(causes, key=lambda c: (causes[c], c)) if causes else "-"
+        executions = site.get("executions", 0) or 1
+        rows.append([
+            f"{site['pc']:#x}",
+            site.get("executions", 0),
+            site.get("misses", 0),
+            f"{100.0 * site.get('misses', 0) / executions:.1f}%",
+            site.get("targets", 0),
+            dominant,
+        ])
+    return format_table(
+        ["site", "execs", "misses", "rate", "targets", "dominant cause"],
+        rows,
+        title=f"hot sites (top {len(rows)} of {record.get('site_count', 0)})",
+    )
+
+
+def tables_table(record: dict) -> str:
+    rows = []
+    for index, table in enumerate(record.get("tables", [])):
+        evictions = table.get("evictions", {})
+        rows.append([
+            index,
+            table.get("organization", "?"),
+            table.get("capacity") if table.get("capacity") is not None else "∞",
+            table.get("entries", 0),
+            (f"{100.0 * table['utilization']:.1f}%"
+             if table.get("utilization") is not None else "-"),
+            sum(evictions.values()),
+            table.get("positive_interference", 0),
+        ])
+    return format_table(
+        ["table", "organization", "capacity", "entries", "utilization",
+         "evictions", "pos. interference"],
+        rows, title="prediction tables")
+
+
+def confusion_table(record: dict) -> str:
+    confusion = record.get("confusion", {})
+    columns = sorted({col for cells in confusion.values() for col in cells})
+    rows = [
+        [f"chose {row}"] + [cells.get(col, 0) for col in columns]
+        for row, cells in sorted(confusion.items())
+    ]
+    return format_table(
+        ["metapredictor"] + [f"correct: {col}" for col in columns],
+        rows, title="hybrid component confusion")
+
+
+def render_record(record: dict, top: int) -> str:
+    title = f"{record['predictor']} on {record['benchmark']}"
+    blocks = [
+        f"== {title} ({record['mispredictions']:,} misses in "
+        f"{record['events']:,} events) ==",
+        cause_table(record, f"miss causes: {title}"),
+    ]
+    if record.get("sites"):
+        blocks.append(site_table(record, top))
+    if record.get("tables"):
+        blocks.append(tables_table(record))
+    if record.get("confusion"):
+        blocks.append(confusion_table(record))
+    return "\n\n".join(blocks)
+
+
+def render(records: list, top: int) -> str:
+    blocks = [render_record(record, top)
+              for record in records if record.get("kind") == "record"]
+    summaries = [record for record in records if record.get("kind") == "summary"]
+    if summaries:
+        blocks.append(cause_table(summaries[-1], "aggregate miss causes"))
+    return "\n\n".join(blocks)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render a repro-attribution/1 artifact.")
+    parser.add_argument("file", help="attribution JSONL path (--attribution)")
+    parser.add_argument("--top", type=int, default=10, metavar="K",
+                        help="hot sites shown per record (default: 10)")
+    args = parser.parse_args(argv)
+    try:
+        records = read_attribution(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(render(records, args.top))
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:  # e.g. `attribution_report.py a.jsonl | head`
+        sys.exit(0)

@@ -1,0 +1,98 @@
+"""Measure the attribution engine's overhead on the serial fig16 workload.
+
+Runs ``python -m repro experiments fig16`` (REPRO_TRACE_SCALE=0.05,
+serial) three ways through the library API — fast path, fast path again
+(to bound run-to-run noise), and instrumented (attribution on) — and
+writes a ``BENCH_attribution_overhead.json`` record.
+
+Budgets (enforced; nonzero exit on violation):
+
+* instrumented / fast path  <= 2.5x — the classifying loop may not cost
+  more than 2.5x the bound-locals fast loop;
+* the two fast-path runs must agree within 10% — a sanity check that the
+  measured ratio is signal, not machine noise.
+
+The "attribution off regresses <= 1%" acceptance criterion is a
+cross-commit property (this commit's fast path vs the previous one's);
+it cannot be measured inside one checkout, so it is recorded from the
+pre-change baseline measurement in the committed
+``BENCH_attribution_overhead.json`` rather than re-checked here.
+
+Usage::
+
+    python tools/bench_attribution.py --out BENCH_attribution_overhead.json
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+MAX_INSTRUMENTED_RATIO = 2.5
+MAX_FAST_PATH_NOISE = 0.10
+SCALE = 0.05
+
+
+def run_fig16(attribution: bool) -> float:
+    """Wall time of one serial fig16 run on a fresh runner."""
+    from repro.experiments import run_experiment
+    from repro.sim.suite_runner import SuiteRunner
+
+    runner = SuiteRunner(scale=SCALE, attribution=attribution)
+    start = time.perf_counter()
+    run_experiment("fig16", runner=runner, quick=True)
+    return time.perf_counter() - start
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark attribution overhead on serial fig16.")
+    parser.add_argument("--out", default="BENCH_attribution_overhead.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    fast_1 = run_fig16(attribution=False)
+    fast_2 = run_fig16(attribution=False)
+    instrumented = run_fig16(attribution=True)
+    fast = min(fast_1, fast_2)
+    ratio = instrumented / fast
+    noise = abs(fast_1 - fast_2) / fast
+
+    record = {
+        "benchmark": f"fig16, serial, scale={SCALE}, library API",
+        "fast_path": {
+            "wall_time_s": [round(fast_1, 3), round(fast_2, 3)],
+            "best_s": round(fast, 3),
+            "noise": round(noise, 4),
+        },
+        "instrumented": {
+            "wall_time_s": round(instrumented, 3),
+            "ratio_vs_fast_path": round(ratio, 3),
+            "budget": MAX_INSTRUMENTED_RATIO,
+        },
+        "cpus": os.cpu_count(),
+    }
+    Path(args.out).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    if noise > MAX_FAST_PATH_NOISE:
+        print(f"error: fast-path runs disagree by {100 * noise:.1f}% "
+              f"(> {100 * MAX_FAST_PATH_NOISE:.0f}%); rerun on a quieter "
+              f"machine", file=sys.stderr)
+        return 1
+    if ratio > MAX_INSTRUMENTED_RATIO:
+        print(f"error: instrumented run is {ratio:.2f}x the fast path "
+              f"(budget {MAX_INSTRUMENTED_RATIO}x)", file=sys.stderr)
+        return 1
+    print(f"attribution overhead {ratio:.2f}x "
+          f"(budget {MAX_INSTRUMENTED_RATIO}x): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
