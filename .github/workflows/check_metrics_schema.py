@@ -2,25 +2,42 @@
 
 Usage::
 
-    python .github/workflows/check_metrics_schema.py METRICS.json TRACE.jsonl \
-        [ATTRIBUTION.jsonl]
+    python .github/workflows/check_metrics_schema.py ARTIFACT [ARTIFACT...]
 
-Validates a ``--metrics-out`` document against ``repro-run-metrics/2``
-(top-level keys, unit counters, per-phase breakdown shape), a
-``--trace-log`` file against ``repro-trace-log/1`` (header line, one JSON
-record per line, span/event record shapes), and — when a third path is
-given — an ``--attribution`` artifact against ``repro-attribution/1``
-(header, record/summary shapes, and the exactness invariant: per-cause
-counts sum to the misprediction total, per record, per site, and in the
-aggregate summary).
+Each argument is dispatched on its embedded schema identifier:
+
+* ``repro-run-metrics/2`` — a ``--metrics-out`` document (top-level keys,
+  unit counters, per-phase breakdown shape, degradation event names);
+* ``repro-trace-log/1`` — a ``--trace-log`` file (header line, one JSON
+  record per line, span/event record shapes);
+* ``repro-attribution/1`` — an ``--attribution`` artifact (header,
+  record/summary shapes, and the exactness invariant: per-cause counts
+  sum to the misprediction total, per record, per site, and in the
+  aggregate summary);
+* ``repro-manifest/1`` — a run-directory ``manifest.json`` (artifact
+  entry shapes, known kinds, and — for artifacts that exist next to the
+  manifest — matching byte sizes and SHA-256 digests).
 """
 
+import hashlib
 import json
+import os
 import sys
 
 METRICS_SCHEMA = "repro-run-metrics/2"
 TRACE_LOG_SCHEMA = "repro-trace-log/1"
 ATTRIBUTION_SCHEMA = "repro-attribution/1"
+MANIFEST_SCHEMA = "repro-manifest/1"
+MANIFEST_KINDS = {
+    "journal": "repro-checkpoint/1",
+    "metrics": METRICS_SCHEMA,
+    "trace_log": TRACE_LOG_SCHEMA,
+    "attribution": ATTRIBUTION_SCHEMA,
+    "chaos_plan": "repro-chaos-plan/1",
+}
+DEGRADATION_EVENTS = {
+    "cache_fallback", "serial_fallback", "checkpoint_off", "telemetry_off",
+}
 CAUSES = {"cold", "capacity", "conflict", "training", "metapredictor",
           "unknown"}
 ATTRIBUTION_RECORD_KEYS = {
@@ -54,6 +71,9 @@ def check_metrics(path: str) -> None:
     for unit in data["per_unit"]:
         assert unit["trace_source"] in TRACE_SOURCES, unit
         assert unit["seconds"] >= 0.0, unit
+    for event, count in data.get("degradations", {}).items():
+        assert event in DEGRADATION_EVENTS, f"unknown degradation {event!r}"
+        assert count >= 1, (event, count)
     print(f"{path}: valid {METRICS_SCHEMA} "
           f"({data['units']['completed']} units, "
           f"{len(data['phases'])} phases)")
@@ -135,12 +155,73 @@ def check_attribution(path: str) -> None:
           f"({records} records, {totals['mispredictions']} misses attributed)")
 
 
+def check_manifest(path: str) -> None:
+    data = json.load(open(path))
+    assert data["schema"] == MANIFEST_SCHEMA, data.get("schema")
+    assert data["workers"] >= 1, data.get("workers")
+    degradations = data["degradations"]
+    for event, count in degradations.items():
+        assert event in DEGRADATION_EVENTS, f"unknown degradation {event!r}"
+        assert count >= 1, (event, count)
+    artifacts = data["artifacts"]
+    assert artifacts, "manifest lists no artifacts"
+    base = os.path.dirname(os.path.abspath(path))
+    verified = 0
+    for kind, entry in artifacts.items():
+        assert kind in MANIFEST_KINDS, f"unknown artifact kind {kind!r}"
+        assert set(entry) == {"path", "bytes", "sha256", "schema"}, \
+            (kind, sorted(entry))
+        assert entry["schema"] == MANIFEST_KINDS[kind], (kind, entry["schema"])
+        assert len(entry["sha256"]) == 64, (kind, entry["sha256"])
+        assert entry["bytes"] >= 0, (kind, entry["bytes"])
+        # Artifacts produced by the run are recorded relative to the run
+        # directory (relocatable); absolute paths only name external
+        # inputs such as a user-supplied chaos plan.
+        target = os.path.join(base, entry["path"])
+        if os.path.exists(target):
+            blob = open(target, "rb").read()
+            assert len(blob) == entry["bytes"], \
+                f"{kind}: {len(blob)} bytes on disk, manifest says " \
+                f"{entry['bytes']}"
+            assert hashlib.sha256(blob).hexdigest() == entry["sha256"], \
+                f"{kind}: sha256 mismatch against {entry['path']}"
+            verified += 1
+    print(f"{path}: valid {MANIFEST_SCHEMA} "
+          f"({len(artifacts)} artifacts, {verified} hashes verified, "
+          f"{sum(degradations.values())} degradation(s))")
+
+
+def check_artifact(path: str) -> None:
+    """Dispatch one artifact to its checker by embedded schema id."""
+    with open(path) as handle:
+        first = handle.readline()
+    try:
+        header = json.loads(first)
+    except ValueError:
+        header = None
+    schema = header.get("schema") if isinstance(header, dict) else None
+    if schema == TRACE_LOG_SCHEMA:
+        check_trace_log(path)
+    elif schema == ATTRIBUTION_SCHEMA:
+        check_attribution(path)
+    else:
+        # Multi-line JSON documents: the schema key is inside the body.
+        data = json.load(open(path))
+        schema = data.get("schema")
+        if schema == METRICS_SCHEMA:
+            check_metrics(path)
+        elif schema == MANIFEST_SCHEMA:
+            check_manifest(path)
+        else:
+            raise AssertionError(
+                f"{path}: unrecognised artifact schema {schema!r}")
+
+
 def main() -> None:
-    metrics_path, trace_log_path = sys.argv[1], sys.argv[2]
-    check_metrics(metrics_path)
-    check_trace_log(trace_log_path)
-    if len(sys.argv) > 3:
-        check_attribution(sys.argv[3])
+    assert len(sys.argv) > 1, \
+        "usage: check_metrics_schema.py ARTIFACT [ARTIFACT...]"
+    for path in sys.argv[1:]:
+        check_artifact(path)
 
 
 if __name__ == "__main__":

@@ -32,6 +32,24 @@ loop and write its per-cause / per-site / per-component artifact
 ``trace BENCHMARK FILE``
     Generate a benchmark trace and write it to ``FILE`` (binary format, or
     text if the name ends in ``.txt``).
+
+``verify RUN_DIR [--against BASELINE_DIR]``
+    Check a completed run directory's ``repro-manifest/1`` (per-artifact
+    SHA-256 + schema), re-validate every artifact, and cross-check them
+    against each other; ``--against`` additionally proves the run
+    bit-identical to a reference run.  See DESIGN.md §3.9.
+
+**Chaos.**  The simulation subcommands accept ``--chaos-seed N`` (generate
+a deterministic fault plan from a seed, journalled next to the checkpoint)
+or ``--chaos-plan FILE`` (install a previously journalled plan — how
+resumed chaos runs avoid re-suffering already-fired faults).
+
+**Exit codes.**  0 — clean success.  1 — I/O failure (unwritable output,
+disk error).  2 — usage error.  3 — the run *completed with correct
+results* but degraded along the way (cache fell back to memory,
+checkpointing turned off, the pool drained serially); artifacts are
+written and the manifest records the degradations.  4 — classified run
+failure (poisoned units, corrupt journal) or failed verification.
 """
 
 from __future__ import annotations
@@ -43,6 +61,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core.factory import config_from_spec
+from .errors import CheckpointError, SimulationError
 from .experiments import experiment_ids, run_experiment
 from .experiments.base import checkpointed_runner
 from .sim.reporting import format_table
@@ -110,6 +129,38 @@ def _write_attribution(runner: SuiteRunner, path: Optional[str]) -> None:
         runner.write_attribution(path)
 
 
+def _finish_run(runner: SuiteRunner, args: argparse.Namespace) -> int:
+    """End-of-run bookkeeping: manifest + the degradation exit code.
+
+    Called only when the handler's work *succeeded* — a run that raised
+    never writes a manifest, so its directory fails ``repro verify``
+    until it is resumed to completion.
+    """
+    degradations = runner.degradations()
+    if getattr(args, "checkpoint_dir", None):
+        from .runtime.chaos import active as active_chaos
+        from .runtime.verify import write_manifest
+
+        run_dir = Path(args.checkpoint_dir)
+        artifacts = {"journal": run_dir / "results.jsonl"}
+        for kind, flag in (("metrics", "metrics_out"),
+                           ("trace_log", "trace_log"),
+                           ("attribution", "attribution")):
+            if getattr(args, flag, None):
+                artifacts[kind] = getattr(args, flag)
+        plan_path = getattr(active_chaos(), "path", None)
+        if plan_path:
+            artifacts["chaos_plan"] = plan_path
+        write_manifest(run_dir, artifacts, degradations=degradations,
+                       workers=runner.workers)
+    if degradations:
+        survived = ", ".join(f"{name} x{count}"
+                             for name, count in sorted(degradations.items()))
+        print(f"run completed degraded: {survived}", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _add_runner_options(parser: argparse.ArgumentParser) -> None:
     """Flags shared by every subcommand that simulates over the suite."""
     parser.add_argument("--checkpoint-dir",
@@ -138,6 +189,15 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                              "per-site / per-component artifact "
                              "(repro-attribution/1; render with "
                              "tools/attribution_report.py)")
+    parser.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                        help="generate a deterministic chaos (fault) plan "
+                             "from this seed and run under it; the plan "
+                             "is journalled into --checkpoint-dir so the "
+                             "run is replayable and resumable")
+    parser.add_argument("--chaos-plan", metavar="FILE",
+                        help="install a journalled repro-chaos-plan/1 "
+                             "file (already-fired faults stay fired, so "
+                             "a resumed run does not re-suffer them)")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -156,11 +216,13 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
                 (out_dir / f"{experiment_id}.txt").write_text(rendering + "\n")
     finally:
         # Attribution first: its write span then lands in the metrics
-        # record's phase breakdown.
+        # record's phase breakdown.  Written even when a run fails, so a
+        # crashed sweep still leaves its partial observability behind
+        # (but no manifest — only _finish_run writes that).
         _write_attribution(runner, args.attribution)
         _write_metrics(runner, args.metrics_out)
         runner.tracer.close()
-    return 0
+    return _finish_run(runner, args)
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -179,7 +241,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
              if name in GROUPS]
     print(format_table(["benchmark", "miss %"], rows,
                        title=f"{config.label} misprediction rates"))
-    return 0
+    return _finish_run(runner, args)
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .runtime.verify import verify_run
+
+    report = verify_run(args.run_dir, against=args.against)
+    print(report.render())
+    return 0 if report.ok else 4
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -227,7 +297,41 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=float, default=None,
                        help="trace length multiplier")
     trace.set_defaults(handler=_cmd_trace)
+
+    verify = subparsers.add_parser(
+        "verify", help="verify a completed run directory's artifacts")
+    verify.add_argument("run_dir", metavar="RUN_DIR",
+                        help="a --checkpoint-dir of a completed run")
+    verify.add_argument("--against", metavar="BASELINE_DIR", default=None,
+                        help="also require bit-identical results to this "
+                             "reference run directory")
+    verify.set_defaults(handler=_cmd_verify)
     return parser
+
+
+def _install_chaos(args: argparse.Namespace) -> None:
+    """Arm the requested chaos plan (no-op without chaos flags)."""
+    plan_file = getattr(args, "chaos_plan", None)
+    seed = getattr(args, "chaos_seed", None)
+    if not plan_file and seed is None:
+        return
+    from .runtime import chaos
+
+    if plan_file:
+        plan = chaos.ChaosPlan.load(plan_file)
+    else:
+        # Seed the plan's match filters from the run's own benchmark
+        # selection, so generated faults can actually fire.
+        selected = getattr(args, "benchmarks", None) or benchmark_names()
+        plan = chaos.ChaosPlan.generate(seed, benchmarks=tuple(selected))
+        if getattr(args, "checkpoint_dir", None):
+            # Journal the plan next to the checkpoint so workers and
+            # resumed runs share its fired-fault tickets.
+            plan.save(Path(args.checkpoint_dir) / "chaos-plan.json")
+    chaos.install(plan)
+    print(f"chaos: {len(plan.faults)} fault(s) armed "
+          f"(seed {plan.seed}, plan "
+          f"{plan.path if plan.path else 'in-memory'})", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -235,15 +339,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if getattr(args, "resume", False) and not getattr(args, "checkpoint_dir", None):
         parser.error("--resume requires --checkpoint-dir")
-    if getattr(args, "workers", 1) < 1:
-        parser.error("--workers must be >= 1")
+    workers = getattr(args, "workers", 1)
+    if workers < 1:
+        print(f"error: --workers must be >= 1, got {workers}",
+              file=sys.stderr)
+        return 2
+    if getattr(args, "chaos_plan", None) and getattr(args, "chaos_seed", None) is not None:
+        print("error: --chaos-plan and --chaos-seed are mutually exclusive",
+              file=sys.stderr)
+        return 2
     try:
+        _install_chaos(args)
         return args.handler(args)
     except OSError as exc:
         # Unwritable output paths and I/O failures exit cleanly instead of
         # dumping a traceback; library errors (ConfigError, ...) propagate.
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except (SimulationError, CheckpointError) as exc:
+        # Classified run failures (poisoned units, corrupt journal):
+        # exit 4 with the structured context, not a traceback — the
+        # chaos soak harness keys on this ("cleanly failed").
+        print(f"error: {exc}", file=sys.stderr)
+        context = getattr(exc, "context", None)
+        if context:
+            print(f"context: {json.dumps(context, sort_keys=True, default=str)}",
+                  file=sys.stderr)
+        return 4
+    finally:
+        from .runtime import chaos
+
+        chaos.uninstall()
 
 
 if __name__ == "__main__":

@@ -17,8 +17,18 @@ sweeps survivable:
 * :mod:`repro.runtime.parallel` — :class:`ParallelExecutor`, a
   crash-recovering ``multiprocessing`` worker pool that streams results
   back for incremental journalling;
-* :mod:`repro.runtime.faults` — deterministic fault injection used by the
-  tests to prove the degradation paths work;
+* :mod:`repro.runtime.chaos` — deterministic, seed-driven chaos plans:
+  named fault injections (cache corruption, disk-full stores, journal and
+  telemetry write errors, worker crashes/hangs) scheduled by a journalled
+  :class:`ChaosPlan`, so whole-run fault scenarios are replayable and
+  resumable;
+* :mod:`repro.runtime.faults` — low-level fault primitives (file
+  corruption/truncation, flaky callables, fire-once tickets) used by the
+  chaos layer and the tests;
+* :mod:`repro.runtime.verify` — end-of-run artifact manifests
+  (``repro-manifest/1``: per-artifact SHA-256 + schema) and the
+  ``repro verify`` cross-checks proving a run directory is internally
+  consistent;
 * :mod:`repro.runtime.telemetry` — the unified observability layer:
   span-based :class:`Tracer` (monotonic timing, nesting, counters), the
   structured JSONL trace log (``repro-trace-log/1``), and the per-phase
@@ -26,6 +36,16 @@ sweeps survivable:
 """
 
 from .cache import TraceCache
+from .chaos import (
+    DEGRADATION_EVENTS,
+    INJECTION_POINTS,
+    ChaosPlan,
+    FaultSpec,
+    NO_CHAOS,
+    active,
+    install,
+    uninstall,
+)
 from .checkpoint import CheckpointJournal, config_key
 from .faults import (
     FakeClock,
@@ -33,6 +53,7 @@ from .faults import (
     FlakyCallable,
     SlowCallable,
     corrupt_file,
+    fire_once,
     truncate_file,
 )
 from .parallel import ParallelExecutor
@@ -41,11 +62,16 @@ from .scheduler import RunMetrics, Scheduler, WorkUnit
 from .telemetry import PhaseStats, TraceLogWriter, Tracer, read_trace_log
 
 __all__ = [
+    "ChaosPlan",
     "CheckpointJournal",
+    "DEGRADATION_EVENTS",
     "ExecutionPolicy",
     "FakeClock",
     "FaultInjectedError",
+    "FaultSpec",
     "FlakyCallable",
+    "INJECTION_POINTS",
+    "NO_CHAOS",
     "ParallelExecutor",
     "PhaseStats",
     "RunMetrics",
@@ -55,9 +81,13 @@ __all__ = [
     "TraceLogWriter",
     "Tracer",
     "WorkUnit",
+    "active",
     "config_key",
     "corrupt_file",
+    "fire_once",
+    "install",
     "read_trace_log",
     "run_with_policy",
     "truncate_file",
+    "uninstall",
 ]

@@ -11,17 +11,26 @@ miss, so callers transparently regenerate instead of crashing.
 Cache keys incorporate the effective trace-length scale, so runs at
 different ``REPRO_TRACE_SCALE`` values (or explicit ``scale`` arguments)
 never serve each other's traces.
+
+**Degradation.**  A store that fails with :class:`OSError` (disk full,
+permission lost, or an injected ``cache.store`` chaos fault) flips the
+cache into in-memory mode: the trace is kept in a process-local overlay,
+a ``cache_fallback`` telemetry event is emitted, and no further disk
+writes are attempted.  The run continues with bit-identical results —
+only durability is lost — and the degradation is surfaced through the
+run's metrics and exit-code policy (DESIGN.md §3.9).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import List, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..errors import TraceError
 from ..workloads.io import load_trace, save_trace
 from ..workloads.trace import Trace
+from .chaos import active as active_chaos
 from .telemetry import NULL_TRACER
 
 PathLike = Union[str, Path]
@@ -35,6 +44,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     corruptions: int = 0
+    #: stores diverted to the in-memory overlay after a disk failure.
+    fallbacks: int = 0
     #: (cache key, reason) for every validation failure seen.
     corruption_log: List[Tuple[str, str]] = field(default_factory=list)
 
@@ -49,6 +60,10 @@ class TraceCache:
         #: the run's tracer; owners (e.g. the suite runner) re-point this
         #: at theirs so quarantines and stores land in the trace log.
         self.tracer = NULL_TRACER
+        #: ``True`` once a disk store failed; all later stores go to the
+        #: in-memory overlay (the disk is not hammered again).
+        self.degraded = False
+        self._memory: Dict[str, Trace] = {}
 
     @staticmethod
     def key(name: str, scale: Optional[float] = None) -> str:
@@ -68,12 +83,18 @@ class TraceCache:
 
         A file that fails validation is moved aside to ``<name>.corrupt``
         (best effort) so the next :meth:`store` rewrites a clean copy and
-        the evidence survives for debugging.
+        the evidence survives for debugging.  Traces parked in the
+        in-memory overlay by a degraded store are served first.
         """
+        overlay = self._memory.get(key)
+        if overlay is not None:
+            self.stats.hits += 1
+            return overlay
         path = self.path_for(key)
         if not path.exists():
             self.stats.misses += 1
             return None
+        active_chaos().inject("cache.load", label=key, path=path)
         try:
             trace = load_trace(path)
         except (TraceError, OSError) as exc:
@@ -90,11 +111,31 @@ class TraceCache:
         return trace
 
     def store(self, key: str, trace: Trace) -> Path:
-        """Atomically persist a trace under ``key``."""
+        """Persist a trace under ``key`` (atomically when the disk works).
+
+        On :class:`OSError` — a genuinely full disk or an injected
+        ``cache.store`` fault — the trace is kept in the in-memory
+        overlay instead and a ``cache_fallback`` event records the
+        degradation; the returned path then names where the trace *would*
+        have been stored.
+        """
         path = self.path_for(key)
-        with self.tracer.span("cache_store", key=key):
-            save_trace(trace, path)
-        self.stats.stores += 1
+        if not self.degraded:
+            try:
+                active_chaos().inject("cache.store", label=key)
+                with self.tracer.span("cache_store", key=key):
+                    save_trace(trace, path)
+                active_chaos().inject("cache.store.torn", label=key, path=path)
+                self.stats.stores += 1
+                return path
+            except OSError as exc:
+                reason = str(exc)
+        else:
+            reason = "cache already degraded to in-memory"
+        self.degraded = True
+        self._memory[key] = trace
+        self.stats.fallbacks += 1
+        self.tracer.event("cache_fallback", key=key, reason=reason)
         return path
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

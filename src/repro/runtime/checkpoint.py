@@ -15,6 +15,13 @@ A partial final line (the signature of a crash mid-append) is tolerated
 and dropped; corruption anywhere earlier in the journal raises
 :class:`~repro.errors.CheckpointError`, since silently dropping completed
 work would make a resumed sweep quietly re-run or — worse — skip pairs.
+
+**Degradation.**  An append that fails with :class:`OSError` (disk full,
+or an injected ``journal.append`` chaos fault) turns checkpointing *off*
+for the rest of the run: results stay memoised in memory so the run
+completes with bit-identical output, a ``checkpoint_off`` telemetry event
+announces the lost durability, and the CLI's exit-code policy reports the
+degradation (DESIGN.md §3.9).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 from ..errors import CheckpointError
 from ..sim.engine import SimulationResult
+from .chaos import active as active_chaos
 from .telemetry import NULL_TRACER
 
 PathLike = Union[str, Path]
@@ -64,6 +72,9 @@ class CheckpointJournal:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._entries: Dict[Tuple[str, str], SimulationResult] = {}
         self.tracer = NULL_TRACER
+        #: ``True`` once an append failed: checkpointing is off for the
+        #: rest of the run (results stay memoised in memory only).
+        self.disabled = False
         self.dropped_partial = False
         self._keep_bytes: Optional[int] = None
         if resume and self.path.exists():
@@ -144,6 +155,12 @@ class CheckpointJournal:
             entries=len(self._entries),
             dropped_partial=self.dropped_partial,
         )
+        if self.disabled:
+            # The header append already failed (e.g. the disk filled
+            # before the run started): re-announce on the run's tracer so
+            # the degradation reaches the metrics record.
+            tracer.event("checkpoint_off", path=str(self.path),
+                         reason="journal unwritable at open")
 
     def get(self, config: object, benchmark: str) -> Optional[SimulationResult]:
         """The journalled result for one pair, or ``None``."""
@@ -162,9 +179,29 @@ class CheckpointJournal:
     # -- writing ------------------------------------------------------------
 
     def _append(self, record: dict) -> None:
-        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
-        self._stream.flush()
-        os.fsync(self._stream.fileno())
+        """Write one fsync'd journal line; degrades to checkpoint-off.
+
+        On :class:`OSError` — a full disk or an injected
+        ``journal.append`` fault — the journal is disabled rather than
+        crashing the run: losing *durability* is recoverable (the sweep
+        re-runs on the next resume), losing the *run* is not.
+        """
+        if self.disabled:
+            return
+        try:
+            active_chaos().inject("journal.append",
+                                  label=str(record.get("benchmark", "")))
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self._stream.flush()
+            os.fsync(self._stream.fileno())
+        except OSError as exc:
+            self.disabled = True
+            try:
+                self._stream.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self.tracer.event("checkpoint_off", path=str(self.path),
+                              reason=str(exc))
 
     def record(self, config: object, benchmark: str,
                result: SimulationResult) -> None:

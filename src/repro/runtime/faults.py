@@ -13,27 +13,20 @@ must survive, deterministically, so tests can assert on exact behaviour.
 * **Slowness** — :class:`SlowCallable` advances a :class:`FakeClock` by a
   configured amount per call, driving deadline policies without real
   sleeping.
-* **Worker death / hangs** — :func:`maybe_crash_worker` and
-  :func:`maybe_hang_worker` are environment-armed hooks called by the
-  parallel pool's worker loop: tests arm them with a unit-label pattern
-  and an on-disk "ticket" path so a chosen work unit SIGKILLs (or wedges)
-  its worker a deterministic number of times across processes.
+* **Worker death / hangs** — scheduled by a
+  :class:`repro.runtime.chaos.ChaosPlan` (``worker.unit`` injection
+  point), which claims :func:`fire_once` tickets so a chosen work unit
+  SIGKILLs (or wedges) its worker a deterministic number of times across
+  processes and resumed runs.
 """
 
 from __future__ import annotations
 
 import os
-import signal
-import time
 from pathlib import Path
 from typing import Callable, Iterable, Optional, Union
 
 from ..errors import SimulationError
-
-#: Arms :func:`maybe_crash_worker`: ``"<label substring>@<ticket path>[@times]"``.
-CRASH_ENV_VAR = "REPRO_PARALLEL_CRASH"
-#: Arms :func:`maybe_hang_worker` with the same spec format.
-HANG_ENV_VAR = "REPRO_PARALLEL_HANG"
 
 PathLike = Union[str, Path]
 
@@ -113,12 +106,21 @@ class SlowCallable:
 
 
 def corrupt_file(path: PathLike, offset: int, xor: int = 0xFF) -> None:
-    """Flip bits of one byte in place (``xor`` must be non-zero to mutate)."""
+    """Flip bits of one byte in place (``xor`` must be non-zero to mutate).
+
+    ``offset`` must address an existing byte: corrupting past EOF would
+    silently *extend* the file instead of damaging it, which is not the
+    fault being modelled.
+    """
     path = Path(path)
     data = bytearray(path.read_bytes())
     if not data:
         raise ValueError(f"{path}: cannot corrupt an empty file")
-    offset %= len(data)
+    if not 0 <= offset < len(data):
+        raise ValueError(
+            f"{path}: offset {offset} is outside the file "
+            f"({len(data)} bytes)"
+        )
     data[offset] ^= xor & 0xFF
     path.write_bytes(bytes(data))
 
@@ -127,7 +129,12 @@ def truncate_file(path: PathLike, keep_bytes: int) -> None:
     """Truncate a file to its first ``keep_bytes`` bytes."""
     path = Path(path)
     data = path.read_bytes()
-    path.write_bytes(data[:max(0, keep_bytes)])
+    if keep_bytes < 0:
+        raise ValueError(
+            f"{path}: keep_bytes must be >= 0, got {keep_bytes} "
+            f"({len(data)}-byte file)"
+        )
+    path.write_bytes(data[:keep_bytes])
 
 
 def fire_once(flag_path: PathLike) -> bool:
@@ -143,41 +150,3 @@ def fire_once(flag_path: PathLike) -> bool:
         return False
     os.close(fd)
     return True
-
-
-def _spec_fires(spec: str, label: str) -> bool:
-    """Whether an armed ``target@ticket[@times]`` spec fires for ``label``."""
-    parts = spec.split("@")
-    if len(parts) < 2:
-        raise ValueError(
-            f"fault spec must be '<label substring>@<ticket path>[@times]', got {spec!r}"
-        )
-    target, ticket = parts[0], parts[1]
-    times = int(parts[2]) if len(parts) > 2 else 1
-    if target not in label:
-        return False
-    return any(fire_once(f"{ticket}.{index}") for index in range(times))
-
-
-def maybe_crash_worker(label: str) -> None:
-    """SIGKILL this process if :data:`CRASH_ENV_VAR` is armed for ``label``.
-
-    Called by the parallel worker loop before each simulation; a no-op
-    unless a test armed the environment variable.  SIGKILL (not an
-    exception) models an OOM-killed worker: no cleanup handlers run and
-    no error message is reported, so the parent must detect the death.
-    """
-    spec = os.environ.get(CRASH_ENV_VAR)
-    if spec and _spec_fires(spec, label):
-        os.kill(os.getpid(), signal.SIGKILL)
-
-
-def maybe_hang_worker(label: str, seconds: float = 3600.0) -> None:
-    """Wedge this process if :data:`HANG_ENV_VAR` is armed for ``label``.
-
-    Models a pathologically slow or deadlocked simulation; the parent's
-    deadline watchdog must kill and requeue it.
-    """
-    spec = os.environ.get(HANG_ENV_VAR)
-    if spec and _spec_fires(spec, label):
-        time.sleep(seconds)

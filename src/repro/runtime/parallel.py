@@ -25,6 +25,12 @@ Design points:
   the same.  A unit that fails on every attempt is *poisoned*: the pool
   keeps draining the remaining units and the failure is raised at the end
   with structured :attr:`~repro.errors.ReproError.context`.
+* **Serial fallback.**  A pool that keeps losing workers eventually
+  exhausts its respawn budget.  Instead of aborting with work undone, the
+  executor emits a ``serial_fallback`` degradation event, tears the pool
+  down (refunding the attempt of any unit a surviving worker still held),
+  and finishes the remaining units serially in the parent — simulation is
+  deterministic, so the results are bit-identical to a healthy pool's.
 * **Determinism.**  Simulation is a pure function of (config, benchmark,
   scale) — traces are seeded — so parallel results are bit-identical to
   serial ones regardless of completion order.
@@ -45,6 +51,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..errors import SimulationError
 from .cache import TraceCache
+from .chaos import active as active_chaos
 from .policies import ExecutionPolicy
 from .scheduler import POISONED, RunMetrics, Scheduler, WorkUnit
 from .telemetry import Tracer
@@ -68,6 +75,7 @@ def _worker_main(
     task_queue: "multiprocessing.Queue",
     result_queue: "multiprocessing.Queue",
     attribution: bool = False,
+    chaos_path: Optional[str] = None,
 ) -> None:
     """Worker loop: pull (unit_id, config, benchmark), simulate, report.
 
@@ -94,7 +102,13 @@ def _worker_main(
     from ..sim.engine import simulate
     from ..workloads.program import generate_trace
     from ..workloads.suite import workload_config
-    from .faults import maybe_crash_worker, maybe_hang_worker
+    from . import chaos
+
+    if chaos_path:
+        # Re-arm the parent's journalled chaos plan in this process:
+        # ticket claims go through the shared on-disk state, so a fault's
+        # `times` budget holds across the whole process tree.
+        chaos.install(chaos.ChaosPlan.load(chaos_path))
 
     if attribution:
         from ..sim.attribution import AttributionCollector
@@ -114,8 +128,7 @@ def _worker_main(
         label = f"{getattr(config, 'label', config)}/{benchmark}"
         start = time.perf_counter()
         try:
-            maybe_crash_worker(label)
-            maybe_hang_worker(label)
+            chaos.active().inject("worker.unit", label=label)
             trace = traces.get(benchmark)
             source = "memo"
             load_seconds = 0.0
@@ -282,6 +295,9 @@ class ParallelExecutor:
         self.attribution = attribution
         self._ctx = mp_context or multiprocessing.get_context()
         self._next_worker_id = 0
+        #: set when the respawn budget ran out: the pool was torn down
+        #: and the remaining units were finished serially in the parent.
+        self._fallback_reason: Optional[str] = None
 
     # -- pool plumbing -------------------------------------------------------
 
@@ -289,10 +305,13 @@ class ParallelExecutor:
         worker_id = self._next_worker_id
         self._next_worker_id += 1
         task_queue = self._ctx.Queue()
+        chaos_plan = active_chaos()
+        chaos_path = getattr(chaos_plan, "path", None)
         process = self._ctx.Process(
             target=_worker_main,
             args=(worker_id, os.getpid(), str(self.trace_cache.directory),
-                  self.scale, task_queue, result_queue, self.attribution),
+                  self.scale, task_queue, result_queue, self.attribution,
+                  str(chaos_path) if chaos_path else None),
             name=f"repro-sim-worker-{worker_id}",
             daemon=True,
         )
@@ -342,8 +361,12 @@ class ParallelExecutor:
             return results
 
         run_start = time.perf_counter()
+        self._fallback_reason = None
         self.tracer.event("pool_start", workers=self.workers, units=len(units))
-        respawn_budget = self.workers + len(units) * self.policy.max_attempts
+        # Enough spare respawns to absorb sporadic environmental kills,
+        # small enough that a systematically-crashing pool degrades to the
+        # serial fallback before every unit burns its whole retry budget.
+        respawn_budget = 2 * self.workers + len(units)
         result_queue = self._ctx.Queue()
         pool: Dict[int, _WorkerHandle] = {}
         progress = _Progress(len(units), enabled=self.progress_enabled)
@@ -361,10 +384,17 @@ class ParallelExecutor:
                         on_result, on_attribution,
                     )
                 self._reap_workers(pool, scheduler, result_queue, respawn_budget)
+                if self._fallback_reason is not None:
+                    break
                 progress.update(
                     scheduler,
                     busy=sum(1 for h in pool.values() if h.busy),
                     workers=len(pool),
+                )
+            if self._fallback_reason is not None and not scheduler.done:
+                self._enter_serial_fallback(
+                    pool, scheduler, result_queue, unit_by_id, results,
+                    on_result, on_attribution, progress,
                 )
         finally:
             progress.close()
@@ -502,19 +532,140 @@ class ParallelExecutor:
             if scheduler.done:
                 continue
             if self._next_worker_id >= respawn_budget:
-                raise SimulationError(
-                    "parallel worker pool is unstable: respawn budget exhausted"
-                ).with_context(
-                    respawns=self._next_worker_id,
-                    respawn_budget=respawn_budget,
-                    last_failure=reason,
-                )
+                # Pool is unstable.  Don't abort with work undone:
+                # degrade to finishing the remaining units serially in
+                # the parent (bit-identical results — simulation is
+                # deterministic).  run() tears the pool down.
+                if self._fallback_reason is None:
+                    self._fallback_reason = reason
+                    self.tracer.event(
+                        "serial_fallback",
+                        respawns=self._next_worker_id,
+                        respawn_budget=respawn_budget,
+                        last_failure=reason,
+                    )
+                continue
             pool_handle = self._spawn_worker(result_queue)
             pool[pool_handle.worker_id] = pool_handle
             self.tracer.event(
                 "respawn", worker=pool_handle.worker_id,
                 replaces=worker_id,
             )
+
+    # -- serial fallback -----------------------------------------------------
+
+    def _enter_serial_fallback(
+        self,
+        pool: Dict[int, _WorkerHandle],
+        scheduler: Scheduler,
+        result_queue: "multiprocessing.Queue",
+        unit_by_id: Dict[int, WorkUnit],
+        results: Dict[int, object],
+        on_result: Optional[Callable[[WorkUnit, object], None]],
+        on_attribution: Optional[Callable[[WorkUnit, dict], None]],
+        progress: _Progress,
+    ) -> None:
+        """Tear the pool down and finish the remaining units in-process.
+
+        Results already sitting in the queue are drained first so
+        completed units are never re-simulated; units that surviving
+        workers still held are returned to the queue with their attempt
+        refunded (the unit did not fail — the pool abandoned it).
+        """
+        while True:
+            message = self._poll_results(result_queue)
+            if message is None:
+                break
+            self._handle_message(
+                message, pool, scheduler, unit_by_id, results,
+                on_result, on_attribution,
+            )
+        for worker_id in list(pool):
+            handle = pool.pop(worker_id)
+            self._stop_worker(handle, kill=True)
+            for unit in scheduler.release_worker(worker_id):
+                self.tracer.event(
+                    "release", unit=unit.label, worker=worker_id,
+                    reason="serial fallback teardown",
+                )
+        self._drain_serially(scheduler, results, on_result, on_attribution,
+                             progress)
+
+    def _drain_serially(
+        self,
+        scheduler: Scheduler,
+        results: Dict[int, object],
+        on_result: Optional[Callable[[WorkUnit, object], None]],
+        on_attribution: Optional[Callable[[WorkUnit, dict], None]],
+        progress: _Progress,
+    ) -> None:
+        """Run every remaining unit in the parent process, one at a time."""
+        from ..core.factory import build_predictor
+        from ..sim.engine import simulate
+        from ..workloads.program import generate_trace
+        from ..workloads.suite import workload_config
+
+        if self.attribution:
+            from ..sim.attribution import AttributionCollector
+
+        traces: Dict[str, object] = {}
+        while not scheduler.done:
+            unit = scheduler.acquire("serial-fallback")
+            if unit is None:  # only poisoned units remain
+                break
+            start = time.perf_counter()
+            try:
+                trace = traces.get(unit.benchmark)
+                source = "memo"
+                load_seconds = 0.0
+                if trace is None:
+                    load_start = time.perf_counter()
+                    key = self.trace_cache.key(unit.benchmark, self.scale)
+                    trace = self.trace_cache.load(key)
+                    source = "cache"
+                    if trace is None:
+                        trace = generate_trace(
+                            workload_config(unit.benchmark, self.scale))
+                        self.trace_cache.store(key, trace)
+                        source = "generated"
+                    load_seconds = time.perf_counter() - load_start
+                    traces[unit.benchmark] = trace
+                collector = AttributionCollector() if self.attribution else None
+                result = simulate(build_predictor(unit.config), trace,
+                                  attribution=collector)
+            except Exception as exc:
+                error = f"{type(exc).__name__}: {exc}"
+                outcome = scheduler.fail(unit.unit_id, error)
+                self.tracer.event(
+                    "poison" if outcome == POISONED else "requeue",
+                    unit=unit.label, worker="serial-fallback", error=error,
+                )
+                continue
+            seconds = time.perf_counter() - start
+            if not scheduler.complete(unit.unit_id):
+                continue
+            results[unit.unit_id] = result
+            if source != "memo" and load_seconds > 0:
+                self.tracer.record_span(
+                    "trace_load" if source == "cache" else "trace_gen",
+                    load_seconds, benchmark=unit.benchmark,
+                    worker="serial-fallback",
+                )
+            self.tracer.record_span(
+                "simulate", max(seconds - load_seconds, 0.0),
+                benchmark=unit.benchmark, worker="serial-fallback",
+            )
+            self.metrics.record_unit(
+                unit.label, unit.benchmark,
+                str(getattr(unit.config, "label", unit.config)),
+                seconds, "serial-fallback",
+                scheduler.attempts(unit.unit_id), source,
+            )
+            if on_result is not None:
+                on_result(unit, result)
+            if on_attribution is not None and collector is not None:
+                on_attribution(unit, collector.records()[0])
+            progress.update(scheduler, busy=0, workers=0)
 
     def _raise_poisoned(self, scheduler: Scheduler) -> None:
         poisoned = scheduler.poisoned

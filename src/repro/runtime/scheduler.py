@@ -135,6 +135,22 @@ class Scheduler:
         held = [uid for uid, wid in self._in_flight.items() if wid == worker_id]
         return [(self._units[uid], self.fail(uid, error)) for uid in held]
 
+    def release_worker(self, worker_id: object) -> List[WorkUnit]:
+        """Return a worker's in-flight units to the queue, attempt refunded.
+
+        Used when the *pool* abandons a healthy worker (serial-fallback
+        teardown): the unit never failed, so requeueing it must not burn
+        retry budget the way :meth:`worker_lost` does.
+        """
+        held = [uid for uid, wid in self._in_flight.items() if wid == worker_id]
+        released = []
+        for unit_id in held:
+            del self._in_flight[unit_id]
+            self._attempts[unit_id] = max(0, self._attempts.get(unit_id, 1) - 1)
+            self._pending.append(self._units[unit_id])
+            released.append(self._units[unit_id])
+        return released
+
     # -- state ---------------------------------------------------------------
 
     @property

@@ -170,28 +170,49 @@ class Tracer:
         self.counters[name] = self.counters.get(name, 0) + 1
         if self.metrics is not None:
             self.metrics.record_phase(name, seconds)
-        if self.sink is not None:
-            self.sink.write({
-                "kind": "span",
-                "name": name,
-                "t": round(self.clock() - self._epoch, 6),
-                "dur_s": round(seconds, 6),
-                "depth": depth,
-                "attrs": attrs,
-            })
+        self._sink_write({
+            "kind": "span",
+            "name": name,
+            "t": round(self.clock() - self._epoch, 6),
+            "dur_s": round(seconds, 6),
+            "depth": depth,
+            "attrs": attrs,
+        })
 
     # -- events --------------------------------------------------------------
 
     def event(self, name: str, **attrs: object) -> None:
         """Record a point event (dispatch, requeue, quarantine, ...)."""
         self.counters[name] = self.counters.get(name, 0) + 1
-        if self.sink is not None:
-            self.sink.write({
-                "kind": "event",
-                "name": name,
-                "t": round(self.clock() - self._epoch, 6),
-                "attrs": attrs,
-            })
+        self._sink_write({
+            "kind": "event",
+            "name": name,
+            "t": round(self.clock() - self._epoch, 6),
+            "attrs": attrs,
+        })
+
+    def _sink_write(self, record: dict) -> None:
+        """Forward one record to the sink; a failing sink is detached.
+
+        Telemetry must never take the run down: an :class:`OSError` from
+        the log file (disk full, or an injected ``telemetry.write``
+        chaos fault) drops the sink, keeps the in-memory aggregates, and
+        counts a ``telemetry_off`` degradation event.
+        """
+        if self.sink is None:
+            return
+        from .chaos import active as active_chaos
+
+        try:
+            active_chaos().inject("telemetry.write", label=record["name"])
+            self.sink.write(record)
+        except OSError:
+            sink, self.sink = self.sink, None
+            try:
+                sink.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self.event("telemetry_off", path=str(sink.path))
 
     # -- lifecycle -----------------------------------------------------------
 

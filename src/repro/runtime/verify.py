@@ -1,0 +1,486 @@
+"""End-of-run artifact manifests and the ``repro verify`` cross-checks.
+
+A run that *finished* is not the same as a run whose artifacts can be
+trusted — especially under chaos, where the runtime may have survived
+corrupted caches, dead workers, and full disks.  This module closes that
+gap with two pieces:
+
+* :func:`write_manifest` — written at the successful end of a
+  checkpointed run: one ``manifest.json`` (schema ``repro-manifest/1``)
+  recording every artifact's SHA-256, byte size, and schema identifier,
+  plus the degradations the run survived.  A run that died mid-way never
+  writes a manifest, so its directory *fails* verification until the run
+  is resumed to completion — absence of proof is treated as failure, not
+  success.
+
+* :func:`verify_run` — the ``repro verify RUN_DIR`` entry point: checks
+  the manifest hashes, re-validates each artifact against its own format
+  (journal header/record structure, trace-log and attribution schemas,
+  metrics schema and key set), and cross-checks the artifacts against
+  each other — journal entry count vs the metrics' completed units,
+  attribution per-cause miss sums vs the journal's fast-path totals.
+  With ``against=BASELINE_DIR`` it additionally proves the run
+  bit-identical to a reference run (the determinism contract: resumed,
+  parallel, and serial-fallback runs must all match a clean serial run).
+
+Every check lands in a :class:`VerifyReport` as a named
+:class:`Finding`; nothing stops at the first failure, so one verify pass
+reports everything that is wrong with a run directory.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+PathLike = Union[str, Path]
+
+#: JSON schema identifier of the run manifest.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+#: Manifest file name inside a run (checkpoint) directory.
+MANIFEST_NAME = "manifest.json"
+
+#: artifact kind -> schema identifier recorded (and later re-checked).
+ARTIFACT_SCHEMAS: Dict[str, str] = {
+    "journal": "repro-checkpoint/1",
+    "metrics": "repro-run-metrics/2",
+    "trace_log": "repro-trace-log/1",
+    "attribution": "repro-attribution/1",
+    "chaos_plan": "repro-chaos-plan/1",
+}
+
+
+def sha256_file(path: PathLike) -> str:
+    """Hex SHA-256 of a file's bytes."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as stream:
+        for chunk in iter(lambda: stream.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+# -- manifest writing --------------------------------------------------------
+
+
+def write_manifest(
+    run_dir: PathLike,
+    artifacts: Dict[str, PathLike],
+    degradations: Optional[Dict[str, int]] = None,
+    workers: int = 1,
+) -> Path:
+    """Write ``manifest.json`` for a *completed* run.
+
+    Args:
+        run_dir: the run (checkpoint) directory the manifest lives in.
+        artifacts: ``kind -> path`` for every artifact the run produced;
+            kinds are keys of :data:`ARTIFACT_SCHEMAS`, missing/None
+            paths are skipped.  Paths inside ``run_dir`` are recorded
+            relative to it so the directory stays relocatable.
+        degradations: degradation event counts the run survived (from
+            :meth:`~repro.sim.suite_runner.SuiteRunner.degradations`).
+        workers: worker count of the run (recorded for provenance).
+    """
+    run_dir = Path(run_dir)
+    run_dir.mkdir(parents=True, exist_ok=True)
+    entries: Dict[str, dict] = {}
+    for kind, path in sorted(artifacts.items()):
+        if kind not in ARTIFACT_SCHEMAS:
+            raise ValueError(
+                f"unknown artifact kind {kind!r} "
+                f"(known: {sorted(ARTIFACT_SCHEMAS)})"
+            )
+        if path is None:
+            continue
+        path = Path(path)
+        if not path.exists():
+            continue
+        try:
+            recorded = str(path.resolve().relative_to(run_dir.resolve()))
+        except ValueError:
+            recorded = str(path.resolve())
+        entries[kind] = {
+            "path": recorded,
+            "bytes": path.stat().st_size,
+            "sha256": sha256_file(path),
+            "schema": ARTIFACT_SCHEMAS[kind],
+        }
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "workers": workers,
+        "degradations": dict(degradations or {}),
+        "artifacts": entries,
+    }
+    target = run_dir / MANIFEST_NAME
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+# -- verification ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One verification check's outcome."""
+
+    check: str  # e.g. "manifest", "hash:journal", "counts", "attribution"
+    ok: bool
+    detail: str
+
+    def __str__(self) -> str:
+        marker = "ok " if self.ok else "FAIL"
+        return f"[{marker}] {self.check}: {self.detail}"
+
+
+@dataclass
+class VerifyReport:
+    """Everything ``repro verify`` learned about one run directory."""
+
+    run_dir: Path
+    findings: List[Finding] = field(default_factory=list)
+    degradations: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, check: str, ok: bool, detail: str) -> None:
+        self.findings.append(Finding(check, ok, detail))
+
+    @property
+    def ok(self) -> bool:
+        return all(finding.ok for finding in self.findings)
+
+    @property
+    def failures(self) -> List[Finding]:
+        return [finding for finding in self.findings if not finding.ok]
+
+    def render(self) -> str:
+        lines = [f"verify {self.run_dir}"]
+        lines += [f"  {finding}" for finding in self.findings]
+        if self.degradations:
+            survived = ", ".join(
+                f"{name} x{count}"
+                for name, count in sorted(self.degradations.items())
+            )
+            lines.append(f"  degradations survived: {survived}")
+        verdict = "VERIFIED" if self.ok else (
+            f"FAILED ({len(self.failures)} check(s))"
+        )
+        lines.append(f"  => {verdict}")
+        return "\n".join(lines)
+
+
+def read_journal(path: PathLike) -> Tuple[Dict[Tuple[str, str], dict], bool]:
+    """Read a checkpoint journal without opening it for writing.
+
+    ``CheckpointJournal`` truncates torn tails and appends a header on
+    open; verification must observe, never mutate, so this is a separate
+    read-only parser with the same tolerance rules (torn *final* line
+    dropped, interior corruption raises ``ValueError``).
+
+    Returns ``((config, benchmark) -> record, dropped_partial)``.
+    """
+    path = Path(path)
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    if lines and lines[-1] == b"":
+        lines.pop()
+    if not lines:
+        raise ValueError(f"{path}: empty journal")
+    entries: Dict[Tuple[str, str], dict] = {}
+    dropped_partial = False
+    for index, line in enumerate(lines):
+        last = index == len(lines) - 1
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except ValueError:
+            if last:
+                dropped_partial = True
+                break
+            raise ValueError(f"{path}:{index + 1}: corrupt journal line")
+        if index == 0:
+            if record.get("format") != "repro-checkpoint" \
+                    or record.get("version") != 1:
+                raise ValueError(f"{path}: bad journal header {record!r}")
+            continue
+        try:
+            key = (record["config"], record["benchmark"])
+            result = record["result"]
+            if int(result["mispredictions"]) < 0 \
+                    or int(result["mispredictions"]) > int(result["events"]):
+                raise ValueError("inconsistent result counts")
+        except ValueError:
+            raise
+        except Exception as exc:
+            if last:
+                dropped_partial = True
+                break
+            raise ValueError(
+                f"{path}:{index + 1}: malformed record: {exc}"
+            ) from exc
+        entries[key] = record
+    return entries, dropped_partial
+
+
+def journal_body(path: PathLike) -> List[str]:
+    """The journal's data lines, sorted — the bit-identity comparison key.
+
+    Journal record *content* is deterministic, but completion *order* is
+    not under parallelism; sorting makes serial, parallel, resumed, and
+    serial-fallback runs directly comparable.
+    """
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    body = []
+    for line in lines[1:]:
+        try:
+            json.loads(line)
+        except ValueError:
+            continue  # torn tail
+        body.append(line)
+    return sorted(body)
+
+
+def _check_artifact_schema(kind: str, path: Path,
+                           report: VerifyReport) -> Optional[object]:
+    """Re-validate one artifact against its own format; returns parsed data."""
+    try:
+        if kind == "journal":
+            if path.stat().st_size == 0 \
+                    and report.degradations.get("checkpoint_off"):
+                # Appends died before even the header landed; the run
+                # carried its results in memory instead.
+                report.add(f"format:{kind}", True,
+                           "empty journal (run degraded to checkpoint_off)")
+                return {}
+            entries, dropped = read_journal(path)
+            note = " (torn tail dropped)" if dropped else ""
+            report.add(f"format:{kind}", True,
+                       f"{len(entries)} journalled result(s){note}")
+            return entries
+        if kind == "metrics":
+            data = json.loads(path.read_text())
+            schema = data.get("schema")
+            if schema != ARTIFACT_SCHEMAS["metrics"]:
+                report.add(f"format:{kind}", False,
+                           f"schema {schema!r}, expected "
+                           f"{ARTIFACT_SCHEMAS['metrics']!r}")
+                return None
+            report.add(f"format:{kind}", True, f"schema {schema}")
+            return data
+        if kind == "trace_log":
+            from .telemetry import read_trace_log
+
+            records = read_trace_log(path)
+            report.add(f"format:{kind}", True, f"{len(records)} record(s)")
+            return records
+        if kind == "attribution":
+            from ..sim.attribution import read_attribution
+
+            records = read_attribution(path)
+            report.add(f"format:{kind}", True, f"{len(records)} record(s)")
+            return records
+        if kind == "chaos_plan":
+            from .chaos import ChaosPlan
+
+            plan = ChaosPlan.load(path)
+            report.add(f"format:{kind}", True,
+                       f"seed {plan.seed}, {len(plan.faults)} fault(s)")
+            return plan
+    except Exception as exc:
+        report.add(f"format:{kind}", False, f"{type(exc).__name__}: {exc}")
+        return None
+    return None  # pragma: no cover - kinds above are exhaustive
+
+
+def verify_run(
+    run_dir: PathLike,
+    against: Optional[PathLike] = None,
+) -> VerifyReport:
+    """Verify one run directory; optionally prove it matches a baseline.
+
+    Checks, in order (all always run):
+
+    1. the manifest exists, parses, and carries the right schema;
+    2. every manifested artifact exists with matching size and SHA-256;
+    3. every artifact re-validates against its own format;
+    4. journal entry count equals the metrics' ``completed +
+       from_checkpoint`` units (skipped with a note when the run degraded
+       to ``checkpoint_off`` — the journal is legitimately short then);
+    5. every attribution record matches its journalled result exactly
+       (events, mispredictions) and its per-cause counts sum to the
+       fast-path misprediction total;
+    6. with ``against``: the two journals' (sorted) data lines are
+       byte-identical (under ``checkpoint_off`` the run's journal is
+       legitimately truncated — then every line it does hold must match
+       a baseline line), and so are the attribution artifacts when both
+       runs produced one.
+    """
+    run_dir = Path(run_dir)
+    report = VerifyReport(run_dir)
+
+    manifest_path = run_dir / MANIFEST_NAME
+    if not manifest_path.exists():
+        report.add("manifest", False,
+                   f"{manifest_path} missing — run did not complete "
+                   f"(resume it, then verify)")
+        return report
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except ValueError as exc:
+        report.add("manifest", False, f"unparseable: {exc}")
+        return report
+    if manifest.get("schema") != MANIFEST_SCHEMA:
+        report.add("manifest", False,
+                   f"schema {manifest.get('schema')!r}, expected "
+                   f"{MANIFEST_SCHEMA!r}")
+        return report
+    artifacts = manifest.get("artifacts", {})
+    report.degradations = dict(manifest.get("degradations", {}))
+    report.add("manifest", True,
+               f"{len(artifacts)} artifact(s), workers="
+               f"{manifest.get('workers')}")
+
+    parsed: Dict[str, object] = {}
+    for kind, entry in sorted(artifacts.items()):
+        path = Path(entry["path"])
+        if not path.is_absolute():
+            path = run_dir / path
+        if not path.exists():
+            report.add(f"hash:{kind}", False, f"{path} missing")
+            continue
+        size = path.stat().st_size
+        if size != entry["bytes"]:
+            report.add(f"hash:{kind}", False,
+                       f"{path}: {size} bytes, manifest says "
+                       f"{entry['bytes']}")
+            continue
+        digest = sha256_file(path)
+        if digest != entry["sha256"]:
+            report.add(f"hash:{kind}", False,
+                       f"{path}: sha256 mismatch (artifact changed after "
+                       f"the manifest was written)")
+            continue
+        report.add(f"hash:{kind}", True, f"{path.name} ({size} bytes)")
+        data = _check_artifact_schema(kind, path, report)
+        if data is not None:
+            parsed[kind] = data
+
+    _cross_check(parsed, report)
+
+    if against is not None:
+        _check_against(run_dir, Path(against), artifacts, report)
+    return report
+
+
+def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
+    """Artifact-vs-artifact consistency checks."""
+    journal = parsed.get("journal")
+    metrics = parsed.get("metrics")
+    if journal is not None and metrics is not None:
+        units = metrics.get("units", {})
+        expected = units.get("completed", 0) + units.get("from_checkpoint", 0)
+        if report.degradations.get("checkpoint_off"):
+            report.add("counts", True,
+                       f"skipped: run degraded to checkpoint_off "
+                       f"(journal holds {len(journal)}, run completed "
+                       f"{expected})")
+        elif len(journal) != expected:
+            report.add("counts", False,
+                       f"journal holds {len(journal)} result(s), metrics "
+                       f"report {expected} (completed + from_checkpoint)")
+        else:
+            report.add("counts", True,
+                       f"journal == metrics == {expected} unit(s)")
+
+    attribution = parsed.get("attribution")
+    if attribution is not None and journal is not None:
+        by_pair = {
+            (rec["result"]["predictor"], rec["benchmark"]): rec["result"]
+            for rec in journal.values()
+        }
+        mismatches = []
+        for record in attribution:
+            if record.get("kind") != "record":
+                continue
+            pair = (record["predictor"], record["benchmark"])
+            cause_sum = sum(record.get("causes", {}).values())
+            if cause_sum != record["mispredictions"]:
+                mismatches.append(
+                    f"{pair[0]}/{pair[1]}: causes sum to {cause_sum}, "
+                    f"record says {record['mispredictions']}"
+                )
+                continue
+            result = by_pair.get(pair)
+            if result is None:
+                mismatches.append(
+                    f"{pair[0]}/{pair[1]}: attributed but not journalled"
+                )
+                continue
+            if (record["events"] != result["events"]
+                    or record["mispredictions"] != result["mispredictions"]):
+                mismatches.append(
+                    f"{pair[0]}/{pair[1]}: attribution "
+                    f"{record['mispredictions']}/{record['events']} vs "
+                    f"journal "
+                    f"{result['mispredictions']}/{result['events']}"
+                )
+        count = sum(1 for r in attribution if r.get("kind") == "record")
+        if mismatches:
+            report.add("attribution", False, "; ".join(mismatches[:3]))
+        else:
+            report.add("attribution", True,
+                       f"{count} record(s) match the journal; per-cause "
+                       f"sums equal fast-path totals")
+
+
+def _check_against(run_dir: Path, baseline_dir: Path,
+                   artifacts: Dict[str, dict],
+                   report: VerifyReport) -> None:
+    """Bit-identity of this run's results against a baseline run's."""
+    mine = run_dir / "results.jsonl"
+    theirs = baseline_dir / "results.jsonl"
+    if not theirs.exists():
+        report.add("against", False, f"baseline journal {theirs} missing")
+        return
+    if not mine.exists():
+        report.add("against", False, f"journal {mine} missing")
+        return
+    my_body, base_body = journal_body(mine), journal_body(theirs)
+    if report.degradations.get("checkpoint_off"):
+        # The journal is legitimately truncated (appends were disabled
+        # mid-run): every line it *does* hold must still be bit-identical
+        # to the baseline's.
+        missing = set(my_body) - set(base_body)
+        if missing:
+            report.add("against", False,
+                       f"{len(missing)} journalled result(s) differ from "
+                       f"baseline {baseline_dir} (determinism violation)")
+        else:
+            report.add("against", True,
+                       f"{len(my_body)} journalled result(s) bit-identical "
+                       f"to baseline {baseline_dir} (journal truncated by "
+                       f"checkpoint_off)")
+    elif my_body != base_body:
+        report.add("against", False,
+                   f"journalled results differ from baseline "
+                   f"{baseline_dir} (determinism violation)")
+    else:
+        report.add("against", True,
+                   f"results bit-identical to baseline {baseline_dir}")
+
+    entry = artifacts.get("attribution")
+    if entry is None:
+        return
+    mine_attr = Path(entry["path"])
+    if not mine_attr.is_absolute():
+        mine_attr = run_dir / mine_attr
+    theirs_attr = baseline_dir / mine_attr.name
+    if not (mine_attr.exists() and theirs_attr.exists()):
+        return
+    if mine_attr.read_bytes() != theirs_attr.read_bytes():
+        report.add("against:attribution", False,
+                   f"attribution artifact differs from baseline "
+                   f"{theirs_attr}")
+    else:
+        report.add("against:attribution", True,
+                   "attribution bit-identical to baseline")

@@ -109,6 +109,14 @@ def simulate(
     if reset:
         predictor.reset()
 
+    # The one choke point every simulation crosses (serial runner,
+    # parallel workers, direct calls): the chaos plan's "simulate"
+    # injection point fires here.  Lazy import keeps the
+    # engine<->runtime import order acyclic.
+    from ..runtime.chaos import active as _active_chaos
+
+    _active_chaos().inject("simulate", label=f"{label}/{trace.name}")
+
     def run_events() -> int:
         if attribution is not None:
             from .attribution import InstrumentedRun

@@ -337,16 +337,34 @@ class SuiteRunner:
             self.attribution.write(path)
         return True
 
+    def degradations(self) -> Dict[str, int]:
+        """Degradation events this run survived, by name (empty = clean).
+
+        Sourced from the tracer's counters, so every component that emits
+        a :data:`~repro.runtime.chaos.DEGRADATION_EVENTS` event (cache,
+        journal, telemetry, parallel pool) is covered without extra
+        plumbing.
+        """
+        from ..runtime.chaos import DEGRADATION_EVENTS
+
+        return {
+            name: self.tracer.counters[name]
+            for name in DEGRADATION_EVENTS
+            if self.tracer.counters.get(name)
+        }
+
     def metrics_summary(self) -> Dict[str, object]:
         """The run's :class:`RunMetrics` as a JSON-ready dict.
 
         Extends the executor-level record with the parent-side trace-cache
-        counters and the checkpoint-journal size, so ``--metrics-out``
-        captures the whole run in one document.  ``workers`` is fixed at
-        runner construction (and only ever raised by the executor), so the
-        record needs no post-hoc patching.
+        counters, the checkpoint-journal size, and any degradation events
+        the run survived, so ``--metrics-out`` captures the whole run in
+        one document.  ``workers`` is fixed at runner construction (and
+        only ever raised by the executor), so the record needs no post-hoc
+        patching.
         """
         data = self.metrics.to_dict()
+        data["degradations"] = self.degradations()
         if self.trace_cache is not None:
             stats = self.trace_cache.stats
             data["parent_trace_cache"] = {
@@ -354,6 +372,7 @@ class SuiteRunner:
                 "misses": stats.misses,
                 "stores": stats.stores,
                 "corruptions": stats.corruptions,
+                "fallbacks": stats.fallbacks,
             }
         if self.checkpoint is not None:
             data["checkpoint_entries"] = len(self.checkpoint)

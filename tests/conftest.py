@@ -17,6 +17,15 @@ from repro.workloads import WorkloadConfig, generate_trace
 TINY_BENCHMARKS = ("perl", "ixx", "jhm")
 
 
+@pytest.fixture(autouse=True)
+def no_leaked_chaos():
+    """No test leaves a chaos plan installed for the next one."""
+    from repro.runtime import chaos
+
+    yield
+    chaos.uninstall()
+
+
 @pytest.fixture(scope="session")
 def tiny_runner() -> SuiteRunner:
     """A shared runner over three representative, shortened benchmarks."""

@@ -1,0 +1,248 @@
+"""Tests for the deterministic chaos layer and graceful degradation.
+
+Covers the plan object itself (validation, seeded generation, journalling,
+cross-load ticket persistence) and each rung of the degradation ladder:
+cache store -> in-memory fallback, journal append -> checkpoint-off,
+telemetry sink -> detached, all with the run completing bit-identically.
+"""
+
+import errno
+import json
+
+import pytest
+
+from repro.core.config import BTBConfig
+from repro.errors import CheckpointError
+from repro.runtime import chaos
+from repro.runtime.cache import TraceCache
+from repro.runtime.chaos import (
+    DEGRADATION_EVENTS,
+    INJECTION_POINTS,
+    ChaosPlan,
+    FaultSpec,
+    NO_CHAOS,
+)
+from repro.runtime.checkpoint import CheckpointJournal
+from repro.runtime.faults import FaultInjectedError
+from repro.runtime.telemetry import Tracer
+from repro.sim.suite_runner import SuiteRunner
+from repro.workloads import WorkloadConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def unit_trace():
+    return generate_trace(WorkloadConfig(name="unit", events=2000, seed=7))
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ValueError, match="unknown injection point"):
+            FaultSpec("cache.evict", "corrupt")
+
+    def test_invalid_mode_for_point_rejected(self):
+        with pytest.raises(ValueError, match="invalid at"):
+            FaultSpec("cache.load", "crash")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError, match="times must be >= 1"):
+            FaultSpec("simulate", "error", times=0)
+
+    def test_roundtrip(self):
+        spec = FaultSpec("worker.unit", "hang", match="perl", times=2, arg=0.5)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestChaosPlan:
+    def test_generation_is_deterministic(self):
+        first = ChaosPlan.generate(42, benchmarks=("perl", "ixx"))
+        second = ChaosPlan.generate(42, benchmarks=("perl", "ixx"))
+        assert first.to_dict() == second.to_dict()
+        assert first.faults  # never an empty plan
+
+    def test_generated_plans_are_survivable(self):
+        for seed in range(50):
+            plan = ChaosPlan.generate(seed, benchmarks=("perl",))
+            for fault in plan.faults:
+                assert fault.mode in INJECTION_POINTS[fault.point]
+                assert 1 <= fault.times <= 2
+                if fault.mode == "hang":
+                    assert fault.arg is not None and fault.arg <= 2.0
+
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = ChaosPlan.generate(7, benchmarks=("perl",))
+        path = plan.save(tmp_path / "plan.json")
+        data = json.loads(path.read_text())
+        assert data["schema"] == "repro-chaos-plan/1"
+        loaded = ChaosPlan.load(path)
+        assert loaded.to_dict() == plan.to_dict()
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"schema": "nope/1"}))
+        with pytest.raises(ValueError, match="repro-chaos-plan/1"):
+            ChaosPlan.load(path)
+
+    def test_times_budget_holds_in_memory(self):
+        plan = ChaosPlan([FaultSpec("simulate", "error", times=2)])
+        assert plan.fire("simulate") is not None
+        assert plan.fire("simulate") is not None
+        assert plan.fire("simulate") is None  # budget spent
+
+    def test_fired_tickets_survive_reload(self, tmp_path):
+        plan = ChaosPlan([FaultSpec("simulate", "error", times=1)])
+        plan.save(tmp_path / "plan.json")
+        assert plan.fire("simulate") is not None
+        # A resumed run reloads the plan: the fault must NOT re-fire.
+        resumed = ChaosPlan.load(tmp_path / "plan.json")
+        assert resumed.fire("simulate") is None
+
+    def test_match_filters_by_label(self):
+        plan = ChaosPlan([FaultSpec("simulate", "error", match="perl")])
+        assert plan.fire("simulate", label="btb/ixx") is None
+        assert plan.fire("simulate", label="btb/perl") is not None
+
+    def test_install_active_uninstall(self):
+        plan = ChaosPlan([FaultSpec("simulate", "error")])
+        assert chaos.active() is NO_CHAOS
+        chaos.install(plan)
+        assert chaos.active() is plan
+        chaos.uninstall()
+        assert chaos.active() is NO_CHAOS
+
+
+class TestInjectModes:
+    def test_error_mode_raises_fault_injected(self):
+        plan = ChaosPlan([FaultSpec("simulate", "error")])
+        with pytest.raises(FaultInjectedError, match=r"chaos\[simulate\]"):
+            plan.inject("simulate", label="x")
+
+    def test_disk_full_mode_raises_enospc(self):
+        plan = ChaosPlan([FaultSpec("cache.store", "disk_full")])
+        with pytest.raises(OSError) as excinfo:
+            plan.inject("cache.store")
+        assert excinfo.value.errno == errno.ENOSPC
+
+    def test_io_error_mode_raises_eio(self):
+        plan = ChaosPlan([FaultSpec("journal.append", "io_error")])
+        with pytest.raises(OSError) as excinfo:
+            plan.inject("journal.append")
+        assert excinfo.value.errno == errno.EIO
+
+    def test_corrupt_mode_flips_a_byte(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789")
+        plan = ChaosPlan([FaultSpec("cache.load", "corrupt", arg=4)])
+        assert plan.inject("cache.load", path=path) is not None
+        mutated = path.read_bytes()
+        assert mutated != b"0123456789"
+        assert len(mutated) == 10  # corrupted in place, never extended
+
+    def test_corrupt_mode_waits_for_a_path(self, tmp_path):
+        # No usable file yet: the fault stays unclaimed for a later
+        # crossing instead of burning its ticket on a no-op.
+        plan = ChaosPlan([FaultSpec("cache.load", "corrupt")])
+        assert plan.inject("cache.load", path=None) is None
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"0123456789")
+        assert plan.inject("cache.load", path=path) is not None
+
+    def test_simulate_injection_point_fires_in_engine(self, unit_trace):
+        from repro.core.factory import build_predictor
+        from repro.sim.engine import simulate
+
+        chaos.install(ChaosPlan([FaultSpec("simulate", "error", times=1)]))
+        with pytest.raises(FaultInjectedError):
+            simulate(build_predictor(BTBConfig()), unit_trace)
+        # Budget spent: the retry (e.g. under a policy) succeeds.
+        result = simulate(build_predictor(BTBConfig()), unit_trace)
+        assert result.events == len(unit_trace)
+
+
+class TestDegradationLadder:
+    def test_cache_store_falls_back_to_memory(self, tmp_path, unit_trace):
+        chaos.install(ChaosPlan([FaultSpec("cache.store", "disk_full")]))
+        cache = TraceCache(tmp_path / "cache")
+        tracer = Tracer()
+        cache.tracer = tracer
+        path = cache.store("unit", unit_trace)
+        assert not path.exists()  # the disk write never happened
+        assert cache.degraded
+        assert cache.stats.fallbacks == 1
+        assert tracer.counters.get("cache_fallback") == 1
+        # The overlay serves the trace: the run continues bit-identically.
+        assert list(cache.load("unit")) == list(unit_trace)
+        # Later stores do not hammer the failing disk again.
+        cache.store("unit2", unit_trace)
+        assert cache.stats.fallbacks == 2
+
+    def test_cache_load_corruption_is_quarantined(self, tmp_path, unit_trace):
+        cache = TraceCache(tmp_path / "cache")
+        path = cache.store("unit", unit_trace)
+        chaos.install(ChaosPlan([FaultSpec("cache.load", "corrupt")]))
+        assert cache.load("unit") is None  # corrupted pre-read, detected
+        assert cache.stats.corruptions == 1
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_journal_append_failure_disables_checkpointing(self, tmp_path):
+        journal = CheckpointJournal(tmp_path / "results.jsonl")
+        tracer = Tracer()
+        journal.tracer = tracer
+        from repro.sim.engine import SimulationResult
+
+        chaos.install(ChaosPlan(
+            [FaultSpec("journal.append", "io_error", times=1)]
+        ))
+        first = SimulationResult("perl", "btb", 100, 10)
+        journal.record(BTBConfig(), "perl", first)  # append fails inside
+        assert journal.disabled
+        assert tracer.counters.get("checkpoint_off") == 1
+        # The run keeps its results in memory and does not crash.
+        assert journal.get(BTBConfig(), "perl") == first
+        journal.record(BTBConfig(), "ixx", SimulationResult("ixx", "btb", 50, 5))
+        assert len(journal) == 2
+
+    def test_telemetry_sink_failure_detaches_sink(self, tmp_path):
+        tracer = Tracer(sink=tmp_path / "trace.jsonl")
+        chaos.install(ChaosPlan(
+            [FaultSpec("telemetry.write", "io_error", times=1)]
+        ))
+        tracer.event("anything")  # sink write fails, sink detached
+        assert tracer.sink is None
+        assert tracer.counters.get("telemetry_off") == 1
+        tracer.event("later")  # in-memory aggregates keep working
+        assert tracer.counters.get("later") == 1
+
+    def test_degraded_run_reports_in_metrics_summary(self, tmp_path):
+        chaos.install(ChaosPlan([FaultSpec("cache.store", "disk_full")]))
+        runner = SuiteRunner(benchmarks=("perl",), scale=0.05,
+                             cache_dir=tmp_path / "cache", progress=False)
+        clean = SuiteRunner(benchmarks=("perl",), scale=0.05, progress=False)
+        assert runner.rates(BTBConfig()) == clean.rates(BTBConfig())
+        assert runner.degradations() == {"cache_fallback": 1}
+        summary = runner.metrics_summary()
+        assert summary["degradations"] == {"cache_fallback": 1}
+        assert summary["parent_trace_cache"]["fallbacks"] == 1
+
+    def test_degradation_event_names_are_closed(self):
+        assert set(DEGRADATION_EVENTS) == {
+            "cache_fallback", "serial_fallback",
+            "checkpoint_off", "telemetry_off",
+        }
+
+
+class TestJournalCorruptionStillFatal:
+    def test_interior_corruption_raises_on_resume(self, tmp_path):
+        # Degradation covers *append* failures only; silently dropping
+        # completed work on resume stays a hard, classified error.
+        path = tmp_path / "results.jsonl"
+        journal = CheckpointJournal(path)
+        from repro.sim.engine import SimulationResult
+
+        journal.record(BTBConfig(), "perl", SimulationResult("perl", "b", 9, 1))
+        journal.record(BTBConfig(), "ixx", SimulationResult("ixx", "b", 9, 1))
+        journal.close()
+        lines = path.read_text().splitlines()
+        lines[1] = lines[1][:10] + "#" + lines[1][10:]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError):
+            CheckpointJournal(path, resume=True)

@@ -26,9 +26,17 @@ class TestParser:
         assert build_parser().parse_args(["experiments"]).workers == 1
         assert build_parser().parse_args(["simulate", "btb"]).workers == 1
 
-    def test_workers_must_be_positive(self):
-        with pytest.raises(SystemExit):
-            main(["experiments", "--workers", "0"])
+    def test_workers_must_be_positive(self, capsys):
+        # A one-line usage error (exit 2), not an argparse usage dump.
+        assert main(["experiments", "--workers", "0"]) == 2
+        err = capsys.readouterr().err
+        assert err == "error: --workers must be >= 1, got 0\n"
+
+    def test_chaos_flags_mutually_exclusive(self, capsys):
+        code = main(["simulate", "btb", "--chaos-seed", "1",
+                     "--chaos-plan", "plan.json"])
+        assert code == 2
+        assert "mutually exclusive" in capsys.readouterr().err
 
     def test_simulate_accepts_runtime_flags(self):
         args = build_parser().parse_args([

@@ -174,3 +174,69 @@ class TestCorruptionFuzz:
             recovered = SuiteRunner(benchmarks=("jhm",), scale=0.05,
                                     cache_dir=cache_dir)
             assert list(recovered.trace("jhm")) == canonical
+
+
+class TestFaultPrimitiveBounds:
+    def test_corrupt_file_rejects_offset_outside_file(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        with pytest.raises(ValueError, match=r"offset 3 is outside the file \(3 bytes\)"):
+            corrupt_file(path, offset=3)
+        with pytest.raises(ValueError, match="outside the file"):
+            corrupt_file(path, offset=-1)
+        # A rejected corruption must not have extended or mutated the file.
+        assert path.read_bytes() == b"abc"
+
+    def test_corrupt_file_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.bin"
+        path.write_bytes(b"")
+        with pytest.raises(ValueError, match="empty file"):
+            corrupt_file(path, offset=0)
+
+    def test_truncate_file_rejects_negative_keep_bytes(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abcdef")
+        with pytest.raises(ValueError, match=r"keep_bytes must be >= 0, got -1 \(6-byte file\)"):
+            truncate_file(path, keep_bytes=-1)
+        assert path.read_bytes() == b"abcdef"
+
+
+class TestQuarantineLifecycle:
+    """The corrupt-cache quarantine path, end to end."""
+
+    def test_quarantine_preserves_evidence_and_run_recovers(
+        self, tmp_path, unit_trace
+    ):
+        cache = TraceCache(tmp_path)
+        path = cache.store("unit", unit_trace)
+        corrupt_file(path, offset=40)
+        damaged = path.read_bytes()
+
+        assert cache.load("unit") is None  # detected, reported as a miss
+        quarantined = path.with_suffix(".corrupt")
+        # The evidence is moved aside, byte-exact — never deleted.
+        assert quarantined.exists()
+        assert quarantined.read_bytes() == damaged
+        assert not path.exists()
+
+        # The regenerate-and-store path rewrites a clean file that
+        # passes the loader's validation again.
+        cache.store("unit", unit_trace)
+        assert list(load_trace(path)) == list(unit_trace)
+        assert list(cache.load("unit")) == list(unit_trace)
+        assert quarantined.exists()  # still kept after recovery
+
+    def test_second_run_ignores_quarantined_file(self, tmp_path, unit_trace):
+        first = TraceCache(tmp_path)
+        path = first.store("unit", unit_trace)
+        corrupt_file(path, offset=40)
+        assert first.load("unit") is None
+        first.store("unit", unit_trace)
+
+        # A fresh cache over the same directory (the "second run") serves
+        # the clean rewrite; the .corrupt file is never re-read.
+        second = TraceCache(tmp_path)
+        assert list(second.load("unit")) == list(unit_trace)
+        assert second.stats.corruptions == 0
+        assert second.stats.hits == 1
+        assert path.with_suffix(".corrupt").exists()

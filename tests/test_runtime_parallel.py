@@ -13,8 +13,9 @@ import pytest
 
 from repro.core.config import BTBConfig, TwoLevelConfig
 from repro.errors import SimulationError
+from repro.runtime import chaos
 from repro.runtime.checkpoint import CheckpointJournal
-from repro.runtime.faults import CRASH_ENV_VAR, HANG_ENV_VAR
+from repro.runtime.chaos import ChaosPlan, FaultSpec
 from repro.runtime.policies import ExecutionPolicy
 from repro.sim.suite_runner import SuiteRunner
 from repro.sim.sweep import sweep
@@ -40,6 +41,14 @@ def make_runner(tmp_path, name, **kwargs):
         progress=False,
         **kwargs,
     )
+
+
+def arm_chaos(tmp_path, name, *faults):
+    """Install a journalled plan (on-disk tickets: shared with workers)."""
+    plan = ChaosPlan(faults)
+    plan.save(tmp_path / f"{name}-chaos.json")
+    chaos.install(plan)
+    return plan
 
 
 def journal_body(path):
@@ -82,16 +91,15 @@ class TestSerialParallelEquivalence:
 
 
 class TestCrashRecovery:
-    def test_sigkilled_worker_unit_requeued_and_completes(
-        self, tmp_path, monkeypatch
-    ):
-        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/kill-ticket")
+    def test_sigkilled_worker_unit_requeued_and_completes(self, tmp_path):
+        arm_chaos(tmp_path, "crash",
+                  FaultSpec("worker.unit", "crash", match="perl"))
         runner = make_runner(
             tmp_path, "crash", workers=2,
             policy=ExecutionPolicy(max_attempts=3),
         )
         rates = runner.rates(CONFIGS["btb"])
-        monkeypatch.delenv(CRASH_ENV_VAR)
+        chaos.uninstall()
         reference = make_runner(tmp_path, "ref").rates(CONFIGS["btb"])
         assert rates == reference
         metrics = runner.metrics_summary()
@@ -103,22 +111,24 @@ class TestCrashRecovery:
         assert len(body) == len(BENCHMARKS)
         assert len(set(body)) == len(body)
 
-    def test_default_policy_survives_worker_crash(self, tmp_path, monkeypatch):
+    def test_default_policy_survives_worker_crash(self, tmp_path):
         # With no explicit policy the pool must still survive a lost
         # worker: environmental deaths (OOM kill, preemption) say nothing
         # about the unit, so the default budget allows requeues.
-        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/default-ticket")
+        arm_chaos(tmp_path, "default",
+                  FaultSpec("worker.unit", "crash", match="perl"))
         runner = make_runner(tmp_path, "default-crash", workers=2)
         rates = runner.rates(CONFIGS["btb"])
-        monkeypatch.delenv(CRASH_ENV_VAR)
+        chaos.uninstall()
         assert rates == make_runner(tmp_path, "default-ref").rates(CONFIGS["btb"])
         assert runner.metrics.worker_crashes >= 1
 
-    def test_poisoned_unit_reports_structured_context(
-        self, tmp_path, monkeypatch
-    ):
-        # Crash on *every* attempt: the unit exhausts its retry budget.
-        monkeypatch.setenv(CRASH_ENV_VAR, f"perl@{tmp_path}/poison-ticket@5")
+    def test_poisoned_unit_reports_structured_context(self, tmp_path):
+        # Error out on *every* attempt: the unit exhausts its retry
+        # budget (an in-worker error, so only the unit fails — the
+        # worker survives and the respawn budget is untouched).
+        arm_chaos(tmp_path, "poison",
+                  FaultSpec("worker.unit", "error", match="perl", times=5))
         runner = make_runner(
             tmp_path, "poison", workers=2,
             policy=ExecutionPolicy(max_attempts=2),
@@ -133,18 +143,41 @@ class TestCrashRecovery:
         assert context["completed"] == 1
         assert runner.checkpoint.get(CONFIGS["btb"], "ixx") is not None
 
-    def test_hung_worker_killed_by_deadline_watchdog(
-        self, tmp_path, monkeypatch
-    ):
-        monkeypatch.setenv(HANG_ENV_VAR, f"ixx@{tmp_path}/hang-ticket")
+    def test_hung_worker_killed_by_deadline_watchdog(self, tmp_path):
+        arm_chaos(tmp_path, "hang",
+                  FaultSpec("worker.unit", "hang", match="ixx", arg=30.0))
         runner = make_runner(
             tmp_path, "hang", workers=2,
             policy=ExecutionPolicy(max_attempts=2, deadline=1.0),
         )
         rates = runner.rates(CONFIGS["btb"])
-        monkeypatch.delenv(HANG_ENV_VAR)
+        chaos.uninstall()
         assert rates == make_runner(tmp_path, "ref2").rates(CONFIGS["btb"])
         assert runner.metrics.units_requeued >= 1
+
+    def test_respawn_budget_exhaustion_degrades_to_serial(self, tmp_path):
+        # Every unit crashes its worker once per attempt; with a respawn
+        # budget of 2*workers + units = 6 the pool gives up and the
+        # parent finishes the remaining units itself, bit-identically.
+        arm_chaos(tmp_path, "unstable",
+                  FaultSpec("worker.unit", "crash", times=20))
+        runner = make_runner(
+            tmp_path, "unstable", workers=2,
+            policy=ExecutionPolicy(max_attempts=10),
+        )
+        rates = {name: runner.rates(config)
+                 for name, config in CONFIGS.items()}
+        chaos.uninstall()
+        reference = make_runner(tmp_path, "stable-ref")
+        assert rates == {name: reference.rates(config)
+                         for name, config in CONFIGS.items()}
+        assert journal_body(runner.checkpoint.path) \
+            == journal_body(reference.checkpoint.path)
+        assert runner.degradations().get("serial_fallback", 0) >= 1
+        assert runner.metrics_summary()["degradations"]["serial_fallback"] >= 1
+        # At least one unit really ran in the parent.
+        assert any(t.worker == "serial-fallback"
+                   for t in runner.metrics.unit_timings)
 
 
 class TestParallelCheckpointResume:

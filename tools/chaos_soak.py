@@ -1,0 +1,183 @@
+#!/usr/bin/env python
+"""Chaos soak harness: every seeded fault plan must end verified or cleanly failed.
+
+Runs a clean serial baseline, then one chaos run per seed (alternating
+serial and ``--workers 2``), each under a deterministic
+``repro-chaos-plan/1`` generated from the seed.  The acceptance contract,
+enforced per run:
+
+* exit 0 or 3 (clean / degraded-but-correct) — the run directory must
+  pass ``repro verify --against BASELINE`` (bit-identical results);
+* exit 1 or 4 (classified failure) — stderr must carry a one-line
+  ``error:`` diagnosis (never a traceback), and resuming the run with the
+  same journalled plan must eventually complete and verify: fired faults
+  are claimed through on-disk tickets, so a resume does not re-suffer
+  them;
+* anything else — a crash, a hang past the timeout, silent corruption —
+  fails the soak.
+
+Usage::
+
+    python tools/chaos_soak.py                  # 8 fixed seeds
+    python tools/chaos_soak.py --seeds 1 2 3 --scale 0.02
+"""
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
+
+from repro.sim.reporting import format_table  # noqa: E402
+
+#: Subprocesses must resolve ``repro`` the same way this script does.
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(_SRC)] + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
+)
+
+#: Default seed set: fixed, so CI soaks are reproducible run to run.
+DEFAULT_SEEDS = (11, 23, 37, 41, 53, 67, 79, 97)
+BENCHMARKS = ("perl", "ixx")
+SPEC = "btb"
+RUN_TIMEOUT_SECONDS = 300
+MAX_RESUMES = 3
+
+
+def repro_cmd(*args):
+    return [sys.executable, "-m", "repro", *args]
+
+
+def run(cmd, timeout=RUN_TIMEOUT_SECONDS):
+    """Run one CLI invocation; returns (exit_code_or_None, stderr)."""
+    try:
+        proc = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=timeout, env=_ENV,
+        )
+    except subprocess.TimeoutExpired:
+        return None, "TIMEOUT"
+    return proc.returncode, proc.stderr
+
+
+def simulate_args(run_dir, scale, workers, chaos=(), resume=False):
+    args = [
+        "simulate", SPEC, *BENCHMARKS,
+        "--scale", str(scale),
+        "--checkpoint-dir", str(run_dir),
+        "--metrics-out", str(run_dir / "metrics.json"),
+    ]
+    if workers > 1:
+        args += ["--workers", str(workers)]
+    if resume:
+        args += ["--resume"]
+    args += list(chaos)
+    return args
+
+
+def verify(run_dir, baseline):
+    code, _ = run(repro_cmd("verify", str(run_dir),
+                            "--against", str(baseline)))
+    return code == 0
+
+
+def soak_one(seed, index, out_dir, scale, baseline):
+    """One seeded chaos run; returns a result-row dict."""
+    workers = 2 if index % 2 else 1
+    run_dir = out_dir / f"run-{seed}"
+    chaos = ["--chaos-seed", str(seed)]
+    code, stderr = run(repro_cmd(*simulate_args(run_dir, scale, workers,
+                                                chaos=chaos)))
+    resumes = 0
+    while code in (1, 4) and resumes < MAX_RESUMES:
+        if "error:" not in stderr:
+            return {"seed": seed, "workers": workers, "exit": code,
+                    "resumes": resumes, "verdict": "FAIL (unclassified exit)"}
+        # Resume under the *journalled* plan: fired tickets stay fired.
+        resumes += 1
+        code, stderr = run(repro_cmd(*simulate_args(
+            run_dir, scale, workers,
+            chaos=["--chaos-plan", str(run_dir / "chaos-plan.json")],
+            resume=True,
+        )))
+    if code is None:
+        return {"seed": seed, "workers": workers, "exit": "timeout",
+                "resumes": resumes, "verdict": "FAIL (hang)"}
+    if code not in (0, 3):
+        return {"seed": seed, "workers": workers, "exit": code,
+                "resumes": resumes,
+                "verdict": f"FAIL (exit {code} after {resumes} resume(s))"}
+    if not verify(run_dir, baseline):
+        return {"seed": seed, "workers": workers, "exit": code,
+                "resumes": resumes, "verdict": "FAIL (verification)"}
+    label = "verified" if code == 0 else "verified (degraded)"
+    if resumes:
+        label += f", {resumes} resume(s)"
+    return {"seed": seed, "workers": workers, "exit": code,
+            "resumes": resumes, "verdict": label}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, nargs="+",
+                        default=list(DEFAULT_SEEDS),
+                        help="chaos plan seeds (default: 8 fixed seeds)")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="trace scale for every run (default 0.05)")
+    parser.add_argument("--out", default=None,
+                        help="directory for run artifacts "
+                             "(default: a temporary directory)")
+    parser.add_argument("--keep", action="store_true",
+                        help="keep run directories (implied by --out)")
+    args = parser.parse_args(argv)
+
+    out_dir = Path(args.out) if args.out else Path(
+        tempfile.mkdtemp(prefix="repro-chaos-soak-"))
+    out_dir.mkdir(parents=True, exist_ok=True)
+    keep = args.keep or bool(args.out)
+
+    baseline = out_dir / "baseline"
+    print(f"chaos soak: baseline serial run -> {baseline}", flush=True)
+    code, stderr = run(repro_cmd(*simulate_args(baseline, args.scale, 1)))
+    if code != 0:
+        print(f"baseline run failed (exit {code}):\n{stderr}", file=sys.stderr)
+        return 1
+    if not verify(baseline, baseline):
+        print("baseline run failed verification", file=sys.stderr)
+        return 1
+
+    rows = []
+    for index, seed in enumerate(args.seeds):
+        result = soak_one(seed, index, out_dir, args.scale, baseline)
+        rows.append(result)
+        print(f"  seed {result['seed']:>4} workers={result['workers']} "
+              f"exit={result['exit']} -> {result['verdict']}", flush=True)
+
+    print()
+    print(format_table(
+        ["seed", "workers", "exit", "resumes", "verdict"],
+        [[r["seed"], r["workers"], r["exit"], r["resumes"], r["verdict"]]
+         for r in rows],
+        title=f"chaos soak: {len(rows)} plan(s) over {SPEC} x "
+              f"{'+'.join(BENCHMARKS)} @ scale {args.scale}",
+    ))
+    failures = [r for r in rows if r["verdict"].startswith("FAIL")]
+    (out_dir / "soak-summary.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    if not keep:
+        shutil.rmtree(out_dir, ignore_errors=True)
+    if failures:
+        print(f"\n{len(failures)} of {len(rows)} run(s) failed the soak "
+              f"contract", file=sys.stderr)
+        return 1
+    print(f"\nall {len(rows)} run(s) ended verified or cleanly failed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,9 +3,11 @@
 Accepts either telemetry artefact the CLI can produce:
 
 * a ``--metrics-out`` JSON document (schema ``repro-run-metrics/2``) —
-  prints the phase breakdown, unit counters, and worker utilisation;
+  prints the phase breakdown, unit counters, worker utilisation, and any
+  degradation events the run survived;
 * a ``--trace-log`` JSONL file (schema ``repro-trace-log/1``) — aggregates
-  its spans into the same phase table plus per-event counts.
+  its spans into the same phase table plus per-event counts, with
+  degradation events broken out into their own table.
 
 Usage::
 
@@ -20,6 +22,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.runtime.chaos import DEGRADATION_EVENTS  # noqa: E402
 from repro.runtime.telemetry import TRACE_LOG_SCHEMA, read_trace_log  # noqa: E402
 from repro.sim.reporting import format_table  # noqa: E402
 
@@ -61,6 +64,12 @@ def summarize_metrics(data: dict) -> str:
             ["trace source", "loads"],
             [[source, count] for source, count in sorted(loads.items())],
             title="trace loads"))
+    degradations = data.get("degradations", {})
+    if degradations:
+        blocks.append(format_table(
+            ["degradation", "count"],
+            [[name, count] for name, count in sorted(degradations.items())],
+            title="degradations survived (results still exact)"))
     return "\n\n".join(blocks)
 
 
@@ -75,12 +84,21 @@ def summarize_trace_log(records: "list") -> str:
             stats["count"] += 1
         elif record.get("kind") == "event":
             events[record["name"]] = events.get(record["name"], 0) + 1
+    degradations = {name: count for name, count in events.items()
+                    if name in DEGRADATION_EVENTS}
+    ordinary = {name: count for name, count in events.items()
+                if name not in DEGRADATION_EVENTS}
     blocks = [phase_table(phases, f"span breakdown ({TRACE_LOG_SCHEMA})")]
-    if events:
+    if ordinary:
         blocks.append(format_table(
             ["event", "count"],
-            [[name, count] for name, count in sorted(events.items())],
+            [[name, count] for name, count in sorted(ordinary.items())],
             title="events"))
+    if degradations:
+        blocks.append(format_table(
+            ["degradation", "count"],
+            [[name, count] for name, count in sorted(degradations.items())],
+            title="degradation events"))
     return "\n\n".join(blocks)
 
 
