@@ -1,0 +1,57 @@
+"""CI assertion helper for the service-soak job.
+
+Usage: check_service_soak.py RUN_DIR LOADGEN_JSON
+
+Asserts, after a chaos-seeded ``repro serve`` run that had one shard
+SIGKILLed mid-stream:
+
+* the kill actually landed mid-stream — the server respawned at least
+  one shard (otherwise the workload finished too fast to prove
+  anything, and the job should be re-run with more batches);
+* the serving contract's accounting holds: every accepted batch was
+  answered or explicitly shed, nothing silent;
+* the loadgen saw zero failed batches and zero client-side state
+  inconsistencies — crashes and faults may slow the service, never
+  corrupt it.
+
+Bit-identity against the offline replay is asserted separately by
+``repro verify --against`` in the workflow step.
+"""
+
+import json
+import sys
+
+
+def main(run_dir: str, loadgen_json: str) -> int:
+    with open(f"{run_dir}/service-metrics.json") as fh:
+        metrics = json.load(fh)
+    if metrics["respawns"] < 1:
+        print("error: no shard respawn recorded — the kill missed the "
+              "stream; raise loadgen --batches", file=sys.stderr)
+        return 1
+    counters = metrics["counters"]
+    if counters["answered"] + counters["shed"] != counters["accepted"]:
+        print(f"error: accounting hole: {counters}", file=sys.stderr)
+        return 1
+
+    with open(loadgen_json) as fh:
+        summary = json.load(fh)
+    if summary["failed"]:
+        print(f"error: {summary['failed']} batch(es) failed outright "
+              f"(neither answered nor shed)", file=sys.stderr)
+        return 1
+    if summary["inconsistencies"]:
+        print("error: client-observed state inconsistencies:", file=sys.stderr)
+        for item in summary["inconsistencies"]:
+            print(f"  {item}", file=sys.stderr)
+        return 1
+
+    print(f"service soak OK: {summary['ok']} answered, "
+          f"{summary['shed']} shed (all journalled), "
+          f"{metrics['respawns']} shard respawn(s), "
+          f"{counters['events_applied']} events applied")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:]))

@@ -37,7 +37,30 @@ loop and write its per-cause / per-site / per-component artifact
     Check a completed run directory's ``repro-manifest/1`` (per-artifact
     SHA-256 + schema), re-validate every artifact, and cross-check them
     against each other; ``--against`` additionally proves the run
-    bit-identical to a reference run.  See DESIGN.md §3.9.
+    bit-identical to a reference run.  Serving runs verify too: shard
+    journals are replayed and the snapshot digests must match
+    (``--against`` a ``repro replay`` directory).  See DESIGN.md §3.9
+    and §3.10.
+
+``serve SPEC --run-dir DIR``
+    Prediction-as-a-service: an asyncio server speaking the
+    length-prefixed JSON batch protocol, per-tenant predictor state
+    sharded over worker processes, bounded queues with back-pressure
+    and load shedding, crash-respawned shards, journalled accepted
+    batches, and a verifiable artifact set on shutdown.  ``--chaos-seed``
+    arms the service fault points (shard crashes/stalls, connection
+    faults, tenant churn).  See DESIGN.md §3.10.
+
+``loadgen --port N`` / ``loadgen --endpoint RUN_DIR/endpoint.json``
+    Drive a running server with deterministic synthetic tenant streams
+    (per-request deadlines, retry with backoff, per-shard circuit
+    breaker) and print/write the outcome summary; ``--shutdown`` drains
+    the server afterwards.
+
+``replay RUN_DIR --out DIR``
+    Offline replay of a serving run's shard journals into a reference
+    ``tenants.json`` — the oracle ``repro verify --against`` compares a
+    serving run to.
 
 **Chaos.**  The simulation subcommands accept ``--chaos-seed N`` (generate
 a deterministic fault plan from a seed, journalled next to the checkpoint)
@@ -45,11 +68,15 @@ or ``--chaos-plan FILE`` (install a previously journalled plan — how
 resumed chaos runs avoid re-suffering already-fired faults).
 
 **Exit codes.**  0 — clean success.  1 — I/O failure (unwritable output,
-disk error).  2 — usage error.  3 — the run *completed with correct
-results* but degraded along the way (cache fell back to memory,
-checkpointing turned off, the pool drained serially); artifacts are
+disk error — including one while writing the end-of-run manifest).
+2 — usage error.  3 — the run *completed with correct results* but
+degraded along the way (cache fell back to memory, checkpointing turned
+off, the pool drained serially, a shard was respawned); artifacts are
 written and the manifest records the degradations.  4 — classified run
-failure (poisoned units, corrupt journal) or failed verification.
+failure (poisoned units, corrupt journal), failed verification, or an
+interrupt (SIGINT): an interrupted run wrote no manifest, so its
+directory must fail verification until resumed — the same
+absence-of-proof rule a crash gets.
 """
 
 from __future__ import annotations
@@ -61,7 +88,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core.factory import config_from_spec
-from .errors import CheckpointError, SimulationError
+from .errors import CheckpointError, ServiceError, SimulationError
 from .experiments import experiment_ids, run_experiment
 from .experiments.base import checkpointed_runner
 from .sim.reporting import format_table
@@ -252,6 +279,82 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 0 if report.ok else 4
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from .service.server import PredictionServer
+
+    config_from_spec(args.spec)  # fail fast on a bad spec (usage-ish)
+    server = PredictionServer(
+        args.spec, args.run_dir, shards=args.shards, host=args.host,
+        port=args.port, max_resident=args.max_resident,
+        queue_soft=args.queue_soft, queue_hard=args.queue_hard,
+        max_attempts=args.max_attempts,
+        respawn_budget=args.respawn_budget,
+        batch_deadline=args.batch_deadline, trace_log=args.trace_log,
+    )
+
+    async def _run() -> int:
+        await server.start()
+        print(f"serving {args.spec} on {server.host}:{server.port} "
+              f"({args.shards} shard(s), run dir {args.run_dir})",
+              file=sys.stderr, flush=True)
+        return await server.serve_until_shutdown()
+
+    code = asyncio.run(_run())
+    if code == 3:
+        survived = ", ".join(f"{name} x{count}" for name, count
+                             in sorted(server.degradations.items()))
+        print(f"serve completed degraded: {survived}", file=sys.stderr)
+    return code
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service.loadgen import run_loadgen
+
+    host, port = args.host, args.port
+    if args.endpoint:
+        endpoint = json.loads(Path(args.endpoint).read_text())
+        host, port = endpoint["host"], endpoint["port"]
+    if port is None:
+        print("error: loadgen needs --port or --endpoint", file=sys.stderr)
+        return 2
+    summary = run_loadgen(
+        host, port, tenants=args.tenants, batches=args.batches,
+        batch_events=args.batch_events, seed=args.seed,
+        concurrency=args.concurrency, deadline=args.deadline,
+        max_attempts=args.max_attempts, shutdown=args.shutdown,
+        out=args.out,
+    )
+    latency = summary["latency"]
+    print(f"loadgen: {summary['sent']} batch(es) -> {summary['ok']} ok "
+          f"({summary['duplicates']} deduplicated), {summary['shed']} "
+          f"shed, {summary['failed']} failed; {summary['retries']} "
+          f"retry(ies), {summary['breaker_opens']} breaker open(s)")
+    print(f"  {summary['events_applied']:,} events applied at "
+          f"{summary['events_per_sec']:,.0f} events/s; latency p50 "
+          f"{latency['p50_s'] * 1000:.1f} ms, p99 "
+          f"{latency['p99_s'] * 1000:.1f} ms")
+    if summary["sheds_by_reason"]:
+        reasons = ", ".join(f"{reason} x{count}" for reason, count
+                            in sorted(summary["sheds_by_reason"].items()))
+        print(f"  sheds: {reasons}")
+    for line in summary["inconsistencies"]:
+        print(f"  INCONSISTENT: {line}", file=sys.stderr)
+    return 4 if summary["inconsistencies"] else 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from .service.replay import write_replay
+
+    target = write_replay(args.run_dir, args.out)
+    tenants = json.loads(target.read_text())["tenants"]
+    events = sum(record["events"] for record in tenants.values())
+    print(f"replayed {len(tenants)} tenant(s), {events:,} accepted "
+          f"event(s) -> {target}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     trace = generate_trace(workload_config(args.benchmark, args.scale))
     Path(args.file).parent.mkdir(parents=True, exist_ok=True)
@@ -306,6 +409,85 @@ def build_parser() -> argparse.ArgumentParser:
                         help="also require bit-identical results to this "
                              "reference run directory")
     verify.set_defaults(handler=_cmd_verify)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve per-tenant predictors over TCP")
+    serve.add_argument("spec", help="predictor spec every tenant gets, "
+                                    'e.g. "btb:entries=512,assoc=4"')
+    serve.add_argument("--run-dir", required=True,
+                       help="artifact directory (journals, snapshots, "
+                            "manifest, endpoint.json)")
+    serve.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="shard worker processes (default: 2)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: 0 = pick a free one, "
+                            "published in endpoint.json)")
+    serve.add_argument("--max-resident", type=int, default=8, metavar="N",
+                       help="live tenants per shard before LRU eviction "
+                            "to the trace cache (default: 8)")
+    serve.add_argument("--queue-soft", type=int, default=16, metavar="N",
+                       help="per-shard depth that sheds priority-0 load "
+                            "and flags back-pressure (default: 16)")
+    serve.add_argument("--queue-hard", type=int, default=32, metavar="N",
+                       help="per-shard depth that sheds everything "
+                            "(default: 32)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per batch before it is shed as "
+                            "poisoned (default: 3)")
+    serve.add_argument("--respawn-budget", type=int, default=None,
+                       metavar="N",
+                       help="total shard respawns before a shard is "
+                            "declared unavailable (default: 2 * shards)")
+    serve.add_argument("--batch-deadline", type=float, default=15.0,
+                       metavar="SECONDS",
+                       help="per-batch shard deadline before the hang "
+                            "watchdog kills it (default: 15)")
+    serve.add_argument("--trace-log", metavar="FILE",
+                       help="structured telemetry log (repro-trace-log/1)")
+    serve.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                       help="arm a deterministic service fault plan "
+                            "(shard crashes/stalls, connection faults, "
+                            "tenant churn, journal errors)")
+    serve.add_argument("--chaos-plan", metavar="FILE",
+                       help="install a journalled repro-chaos-plan/1 file")
+    serve.set_defaults(handler=_cmd_serve, chaos_points="service")
+
+    loadgen = subparsers.add_parser(
+        "loadgen", help="drive a running prediction server")
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument("--endpoint", metavar="FILE",
+                         help="read host/port from a server's "
+                              "endpoint.json instead of --port")
+    loadgen.add_argument("--tenants", type=int, default=6, metavar="N")
+    loadgen.add_argument("--batches", type=int, default=12, metavar="N",
+                         help="batches per tenant (default: 12)")
+    loadgen.add_argument("--batch-events", type=int, default=64,
+                         metavar="N", help="events per batch (default: 64)")
+    loadgen.add_argument("--seed", type=int, default=1,
+                         help="tenant stream seed (default: 1)")
+    loadgen.add_argument("--concurrency", type=int, default=3, metavar="N",
+                         help="client threads (default: 3)")
+    loadgen.add_argument("--deadline", type=float, default=5.0,
+                         metavar="SECONDS",
+                         help="per-request deadline (default: 5)")
+    loadgen.add_argument("--max-attempts", type=int, default=5, metavar="N",
+                         help="attempts per request (default: 5)")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="drain and stop the server afterwards")
+    loadgen.add_argument("--out", metavar="FILE",
+                         help="write the JSON summary "
+                              "(repro-service-loadgen/1)")
+    loadgen.set_defaults(handler=_cmd_loadgen)
+
+    replay = subparsers.add_parser(
+        "replay", help="offline-replay a serving run's journals")
+    replay.add_argument("run_dir", metavar="RUN_DIR",
+                        help="a serving run directory (journal-*.jsonl)")
+    replay.add_argument("--out", required=True, metavar="DIR",
+                        help="directory for the oracle tenants.json")
+    replay.set_defaults(handler=_cmd_replay)
     return parser
 
 
@@ -319,6 +501,13 @@ def _install_chaos(args: argparse.Namespace) -> None:
 
     if plan_file:
         plan = chaos.ChaosPlan.load(plan_file)
+    elif getattr(args, "chaos_points", None) == "service":
+        # The serving fault menu; tenants are unknown up front, so the
+        # generated match filters stay empty (match everything).  The
+        # plan is journalled into the run dir so shard processes share
+        # its fired-fault tickets.
+        plan = chaos.ChaosPlan.generate(seed, points=chaos.SERVICE_POINTS)
+        plan.save(Path(args.run_dir) / "chaos-plan.json")
     else:
         # Seed the plan's match filters from the run's own benchmark
         # selection, so generated faults can actually fire.
@@ -351,12 +540,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         _install_chaos(args)
         return args.handler(args)
+    except KeyboardInterrupt:
+        # SIGINT mid-run: classified failure, not a stack trace.  No
+        # manifest was written, so the run directory fails verification
+        # until the run is resumed to completion.
+        print("error: interrupted", file=sys.stderr)
+        return 4
     except OSError as exc:
         # Unwritable output paths and I/O failures exit cleanly instead of
         # dumping a traceback; library errors (ConfigError, ...) propagate.
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except (SimulationError, CheckpointError) as exc:
+    except (SimulationError, CheckpointError, ServiceError) as exc:
         # Classified run failures (poisoned units, corrupt journal):
         # exit 4 with the structured context, not a traceback — the
         # chaos soak harness keys on this ("cleanly failed").

@@ -58,6 +58,15 @@ class SimulationError(ReproError, RuntimeError):
     """A failure during trace-driven simulation."""
 
 
+class FaultInjectedError(SimulationError):
+    """A deliberately injected failure (retryable, like any transient).
+
+    Raised by the chaos layer's ``error``-mode faults
+    (:meth:`repro.runtime.chaos.ChaosPlan.inject`) and by test doubles
+    that model raise-on-Nth-call crashes.
+    """
+
+
 class DeadlineError(SimulationError):
     """A simulation exceeded its per-run deadline.
 
@@ -73,3 +82,15 @@ class CheckpointError(ReproError, RuntimeError):
 
 class ExperimentError(ReproError, RuntimeError):
     """A failure while running or rendering a paper experiment."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A failure in the prediction service (server, shard, or client).
+
+    Client-side instances carry ``context`` fields (tenant, shard,
+    attempts, elapsed) describing the exhausted retry budget.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A malformed, oversized, or unparseable service protocol frame."""

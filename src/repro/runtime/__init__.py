@@ -22,9 +22,8 @@ sweeps survivable:
   telemetry write errors, worker crashes/hangs) scheduled by a journalled
   :class:`ChaosPlan`, so whole-run fault scenarios are replayable and
   resumable;
-* :mod:`repro.runtime.faults` — low-level fault primitives (file
-  corruption/truncation, flaky callables, fire-once tickets) used by the
-  chaos layer and the tests;
+* :mod:`repro.runtime.faults` — the two on-disk fault primitives (file
+  corruption and truncation) the chaos layer mutates artifacts with;
 * :mod:`repro.runtime.verify` — end-of-run artifact manifests
   (``repro-manifest/1``: per-artifact SHA-256 + schema) and the
   ``repro verify`` cross-checks proving a run directory is internally
@@ -35,48 +34,43 @@ sweeps survivable:
   accounting behind the ``repro-run-metrics/2`` breakdown.
 """
 
+from ..errors import FaultInjectedError
 from .cache import TraceCache
 from .chaos import (
+    CORE_POINTS,
     DEGRADATION_EVENTS,
     INJECTION_POINTS,
+    SERVICE_POINTS,
     ChaosPlan,
     FaultSpec,
     NO_CHAOS,
     active,
+    fire_once,
     install,
     uninstall,
 )
 from .checkpoint import CheckpointJournal, config_key
-from .faults import (
-    FakeClock,
-    FaultInjectedError,
-    FlakyCallable,
-    SlowCallable,
-    corrupt_file,
-    fire_once,
-    truncate_file,
-)
+from .faults import corrupt_file, truncate_file
 from .parallel import ParallelExecutor
 from .policies import ExecutionPolicy, run_with_policy
 from .scheduler import RunMetrics, Scheduler, WorkUnit
 from .telemetry import PhaseStats, TraceLogWriter, Tracer, read_trace_log
 
 __all__ = [
+    "CORE_POINTS",
     "ChaosPlan",
     "CheckpointJournal",
     "DEGRADATION_EVENTS",
     "ExecutionPolicy",
-    "FakeClock",
     "FaultInjectedError",
     "FaultSpec",
-    "FlakyCallable",
     "INJECTION_POINTS",
     "NO_CHAOS",
     "ParallelExecutor",
     "PhaseStats",
     "RunMetrics",
+    "SERVICE_POINTS",
     "Scheduler",
-    "SlowCallable",
     "TraceCache",
     "TraceLogWriter",
     "Tracer",

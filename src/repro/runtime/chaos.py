@@ -28,9 +28,13 @@ point              fired from                   modes
 ``worker.unit``    parallel worker, per unit    ``crash`` (SIGKILL), ``hang``
                                                 (sleep), ``error`` (raise)
 ``simulate``       :func:`repro.sim.engine.simulate` ``error`` (raise)
+``service.accept`` server connection read path  ``io_error`` (EIO)
+``service.shard_exit`` service shard, per batch ``crash`` (SIGKILL)
+``service.slow_shard`` service shard, per batch ``hang`` (sleep)
+``tenant.churn``   service shard, per batch     ``evict`` (park tenant state)
 ================== ============================ ===========================
 
-Faults raising :class:`~repro.runtime.faults.FaultInjectedError` are
+Faults raising :class:`~repro.errors.FaultInjectedError` are
 transient (retryable under an execution policy / the parallel requeue
 budget); ``disk_full`` / ``io_error`` raise :class:`OSError` and exercise
 the graceful-degradation ladder (cache → in-memory, journal → off,
@@ -54,7 +58,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
-from .faults import FaultInjectedError, corrupt_file, fire_once
+from ..errors import FaultInjectedError
+from .faults import corrupt_file
 
 PathLike = Union[str, Path]
 
@@ -70,7 +75,37 @@ INJECTION_POINTS: Dict[str, Tuple[str, ...]] = {
     "telemetry.write": ("io_error",),
     "worker.unit": ("crash", "hang", "error"),
     "simulate": ("error",),
+    # -- prediction-service points (repro serve; DESIGN.md §3.10) --------
+    "service.accept": ("io_error",),       # EIO on the connection accept/read path
+    "service.shard_exit": ("crash",),      # shard process SIGKILLs mid-batch
+    "service.slow_shard": ("hang",),       # shard stalls before a batch
+    "tenant.churn": ("evict",),            # force-evict tenant state to the cache
 }
+
+#: The batch-CLI subset of the catalog: what :meth:`ChaosPlan.generate`
+#: draws from by default, so fixed soak seeds keep producing the same
+#: plans they did before the service points existed.
+CORE_POINTS: Tuple[str, ...] = (
+    "cache.load",
+    "cache.store",
+    "cache.store.torn",
+    "journal.append",
+    "telemetry.write",
+    "worker.unit",
+    "simulate",
+)
+
+#: The serving subset: what `repro serve --chaos-seed` draws from.  The
+#: journal/telemetry write points are shared — shard journals and the
+#: server trace log degrade the same way the batch runtime's do.
+SERVICE_POINTS: Tuple[str, ...] = (
+    "service.accept",
+    "service.shard_exit",
+    "service.slow_shard",
+    "tenant.churn",
+    "journal.append",
+    "telemetry.write",
+)
 
 #: Telemetry event names announcing a graceful-degradation transition.
 DEGRADATION_EVENTS = (
@@ -82,6 +117,21 @@ DEGRADATION_EVENTS = (
 
 #: Modes that need a file path operand to act on.
 _PATH_MODES = frozenset({"corrupt"})
+
+
+def fire_once(flag_path: PathLike) -> bool:
+    """Atomically claim a one-shot fault ticket (``O_CREAT | O_EXCL``).
+
+    ``True`` exactly once per path across any number of processes, which
+    is what lets an injected worker crash fire on the first attempt and
+    let the requeued attempt succeed.
+    """
+    try:
+        fd = os.open(str(flag_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return False
+    os.close(fd)
+    return True
 
 
 @dataclass(frozen=True)
@@ -177,20 +227,30 @@ class ChaosPlan:
         benchmarks: Sequence[str] = (),
         min_faults: int = 2,
         max_faults: int = 4,
+        points: Optional[Sequence[str]] = None,
     ) -> "ChaosPlan":
         """A reproducible plan: same seed, same faults, every time.
 
-        Draws ``min_faults..max_faults`` specs over the whole catalog.
-        Generated faults are sized to be *survivable*: hangs sleep at
-        most 2 s (bounded delay even with no watchdog), crashes fire at
-        most twice (under the parallel requeue budget), and every
-        corruption / degradation mode is recoverable by construction.
+        Draws ``min_faults..max_faults`` specs over ``points`` (default:
+        :data:`CORE_POINTS`, the batch-CLI catalog — callers soaking the
+        serving path pass :data:`SERVICE_POINTS`).  Generated faults are
+        sized to be *survivable*: hangs sleep at most 2 s (bounded delay
+        even with no watchdog), crashes fire at most twice (under the
+        parallel requeue / shard respawn budgets), and every corruption /
+        degradation mode is recoverable by construction.
         """
         rng = random.Random(seed)
+        selected = tuple(points) if points is not None else CORE_POINTS
+        for point in selected:
+            if point not in INJECTION_POINTS:
+                raise ValueError(
+                    f"unknown injection point {point!r} "
+                    f"(catalog: {sorted(INJECTION_POINTS)})"
+                )
         menu: List[Tuple[str, str]] = [
             (point, mode)
-            for point, modes in sorted(INJECTION_POINTS.items())
-            for mode in modes
+            for point in sorted(selected)
+            for mode in INJECTION_POINTS[point]
         ]
         count = rng.randint(min_faults, max_faults)
         faults = []
@@ -278,7 +338,10 @@ class ChaosPlan:
         later crossing.  Raising modes raise (:class:`OSError` for
         ``disk_full`` / ``io_error``, :class:`FaultInjectedError` for
         ``error``); ``crash`` SIGKILLs the calling process; ``hang``
-        sleeps; ``corrupt`` flips one byte of ``path`` and returns.
+        sleeps; ``corrupt`` flips one byte of ``path`` and returns;
+        ``evict`` returns the fired spec without acting — the caller
+        (the service shard's tenant store) performs the eviction, since
+        only it knows how to park the state.
         """
         needs_path = any(
             fault.point == point and fault.mode in _PATH_MODES
@@ -305,6 +368,7 @@ class ChaosPlan:
             os.kill(os.getpid(), signal.SIGKILL)
         elif spec.mode == "hang":
             time.sleep(spec.arg if spec.arg is not None else 3600.0)
+        # "evict" falls through: the caller acts on the returned spec.
         return spec
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

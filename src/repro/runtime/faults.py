@@ -1,108 +1,24 @@
-"""Deterministic fault injection for the runtime's degradation paths.
+"""On-disk fault primitives: byte-exact storage corruption.
 
-The crash-safety claims of this package are only real if they are
-exercised: these helpers inject the three failure families the runtime
-must survive, deterministically, so tests can assert on exact behaviour.
+These are the two helpers the chaos layer (and the corruption tests)
+mutate artifacts with.  Everything else PR 1's ad-hoc fault hooks once
+carried — env-var armed crash/hang triggers, flaky/slow callable
+wrappers, fire-once tickets — was superseded by the deterministic
+:class:`repro.runtime.chaos.ChaosPlan` catalog (which owns scheduling
+and ticketing) and by test-local doubles in ``tests/fault_helpers.py``.
 
-* **Storage corruption** — :func:`corrupt_file` / :func:`truncate_file`
-  mutate a cached trace or journal on disk byte-exactly.
-* **Transient failures** — :class:`FlakyCallable` wraps a callable (e.g.
-  :func:`repro.sim.engine.simulate`) and raises
-  :class:`FaultInjectedError` on chosen call indices, modelling
-  raise-on-Nth-simulation crashes.
-* **Slowness** — :class:`SlowCallable` advances a :class:`FakeClock` by a
-  configured amount per call, driving deadline policies without real
-  sleeping.
-* **Worker death / hangs** — scheduled by a
-  :class:`repro.runtime.chaos.ChaosPlan` (``worker.unit`` injection
-  point), which claims :func:`fire_once` tickets so a chosen work unit
-  SIGKILLs (or wedges) its worker a deterministic number of times across
-  processes and resumed runs.
+* :func:`corrupt_file` — flip bits of one existing byte in place,
+  modelling a torn write or a decaying sector.
+* :func:`truncate_file` — cut a file to a prefix, modelling a crashed
+  writer or a partially synced copy.
 """
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
-from typing import Callable, Iterable, Optional, Union
-
-from ..errors import SimulationError
+from typing import Union
 
 PathLike = Union[str, Path]
-
-
-class FaultInjectedError(SimulationError):
-    """A deliberately injected failure (retryable, like any transient)."""
-
-
-class FakeClock:
-    """A manually advanced monotonic clock; doubles as a sleep function.
-
-    Use as ``ExecutionPolicy(clock=clock, sleep=clock.sleep)`` so deadline
-    and backoff behaviour run in virtual time.
-    """
-
-    def __init__(self, start: float = 0.0) -> None:
-        self.now = start
-        self.sleeps: list = []
-
-    def __call__(self) -> float:
-        return self.now
-
-    def advance(self, seconds: float) -> None:
-        self.now += seconds
-
-    def sleep(self, seconds: float) -> None:
-        self.sleeps.append(seconds)
-        self.advance(seconds)
-
-
-class FlakyCallable:
-    """Wraps ``fn``; raises on the given 1-based call indices.
-
-    Args:
-        fn: the callable to wrap.
-        fail_on: call indices (1-based, across the wrapper's lifetime) that
-            raise instead of executing ``fn``.
-        error_factory: builds the exception for call ``n`` (defaults to
-            :class:`FaultInjectedError`).
-    """
-
-    def __init__(
-        self,
-        fn: Callable,
-        fail_on: Iterable[int],
-        error_factory: Optional[Callable[[int], BaseException]] = None,
-    ) -> None:
-        self.fn = fn
-        self.fail_on = frozenset(fail_on)
-        self.error_factory = error_factory or (
-            lambda n: FaultInjectedError(f"injected failure on call {n}")
-        )
-        self.calls = 0
-        self.injected = 0
-
-    def __call__(self, *args: object, **kwargs: object):
-        self.calls += 1
-        if self.calls in self.fail_on:
-            self.injected += 1
-            raise self.error_factory(self.calls)
-        return self.fn(*args, **kwargs)
-
-
-class SlowCallable:
-    """Wraps ``fn``; every call advances ``clock`` by ``delay`` seconds."""
-
-    def __init__(self, fn: Callable, delay: float, clock: FakeClock) -> None:
-        self.fn = fn
-        self.delay = delay
-        self.clock = clock
-        self.calls = 0
-
-    def __call__(self, *args: object, **kwargs: object):
-        self.calls += 1
-        self.clock.advance(self.delay)
-        return self.fn(*args, **kwargs)
 
 
 def corrupt_file(path: PathLike, offset: int, xor: int = 0xFF) -> None:
@@ -135,18 +51,3 @@ def truncate_file(path: PathLike, keep_bytes: int) -> None:
             f"({len(data)}-byte file)"
         )
     path.write_bytes(data[:keep_bytes])
-
-
-def fire_once(flag_path: PathLike) -> bool:
-    """Atomically claim a one-shot fault ticket (``O_CREAT | O_EXCL``).
-
-    ``True`` exactly once per path across any number of processes, which
-    is what lets an injected worker crash fire on the first attempt and
-    let the requeued attempt succeed.
-    """
-    try:
-        fd = os.open(str(flag_path), os.O_CREAT | os.O_EXCL | os.O_WRONLY)
-    except FileExistsError:
-        return False
-    os.close(fd)
-    return True

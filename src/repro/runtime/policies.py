@@ -7,8 +7,8 @@ per-simulation budget and retry behaviour; :func:`run_with_policy` applies
 it to any zero-argument callable.
 
 The clock and sleep functions are injectable so the fault-injection tests
-can drive deadline and backoff behaviour deterministically (see
-:class:`repro.runtime.faults.FakeClock`).
+can drive deadline and backoff behaviour deterministically (the tests
+use a manually advanced clock).
 """
 
 from __future__ import annotations

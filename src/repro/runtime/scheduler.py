@@ -76,6 +76,23 @@ class Scheduler:
         self._poisoned: Dict[int, WorkUnit] = {}
         self.requeues = 0
 
+    # -- streaming arrivals --------------------------------------------------
+
+    def add(self, unit: WorkUnit) -> None:
+        """Enqueue a unit that arrived after construction.
+
+        Batch sweeps know their whole unit set up front; the prediction
+        service does not — batches arrive over the wire for the lifetime
+        of a shard.  Streamed units share all the recovery bookkeeping
+        (requeue on worker loss, attempt budgets, poisoning) with
+        construction-time ones.
+        """
+        if unit.unit_id in self._units:
+            raise ValueError(f"duplicate unit_id {unit.unit_id}")
+        self._units[unit.unit_id] = unit
+        self._pending.append(unit)
+        self.total += 1
+
     # -- dispatch ------------------------------------------------------------
 
     def acquire(self, worker_id: object) -> Optional[WorkUnit]:

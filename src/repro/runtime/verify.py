@@ -45,13 +45,32 @@ MANIFEST_SCHEMA = "repro-manifest/1"
 MANIFEST_NAME = "manifest.json"
 
 #: artifact kind -> schema identifier recorded (and later re-checked).
+#: Multi-instance kinds (one shard journal per shard) are manifested as
+#: ``<kind>.<n>`` and resolved back to the base kind by
+#: :func:`artifact_schema`.
 ARTIFACT_SCHEMAS: Dict[str, str] = {
     "journal": "repro-checkpoint/1",
     "metrics": "repro-run-metrics/2",
     "trace_log": "repro-trace-log/1",
     "attribution": "repro-attribution/1",
     "chaos_plan": "repro-chaos-plan/1",
+    # -- prediction-service artifacts (repro serve; DESIGN.md §3.10) -----
+    "service_journal": "repro-service-journal/1",
+    "service_sheds": "repro-service-sheds/1",
+    "service_tenants": "repro-service-tenants/1",
+    "service_metrics": "repro-service-metrics/1",
 }
+
+
+def base_kind(kind: str) -> str:
+    """Strip a ``.<n>`` instance suffix (``service_journal.0`` -> base)."""
+    stem, _, suffix = kind.rpartition(".")
+    return stem if stem and suffix.isdigit() else kind
+
+
+def artifact_schema(kind: str) -> Optional[str]:
+    """The schema for a manifest kind, honouring instance suffixes."""
+    return ARTIFACT_SCHEMAS.get(base_kind(kind))
 
 
 def sha256_file(path: PathLike) -> str:
@@ -88,7 +107,8 @@ def write_manifest(
     run_dir.mkdir(parents=True, exist_ok=True)
     entries: Dict[str, dict] = {}
     for kind, path in sorted(artifacts.items()):
-        if kind not in ARTIFACT_SCHEMAS:
+        schema = artifact_schema(kind)
+        if schema is None:
             raise ValueError(
                 f"unknown artifact kind {kind!r} "
                 f"(known: {sorted(ARTIFACT_SCHEMAS)})"
@@ -106,7 +126,7 @@ def write_manifest(
             "path": recorded,
             "bytes": path.stat().st_size,
             "sha256": sha256_file(path),
-            "schema": ARTIFACT_SCHEMAS[kind],
+            "schema": schema,
         }
     manifest = {
         "schema": MANIFEST_SCHEMA,
@@ -243,7 +263,53 @@ def journal_body(path: PathLike) -> List[str]:
 def _check_artifact_schema(kind: str, path: Path,
                            report: VerifyReport) -> Optional[object]:
     """Re-validate one artifact against its own format; returns parsed data."""
+    base = base_kind(kind)
     try:
+        if base == "service_journal":
+            from ..service.state import read_service_journal
+
+            header, records = read_service_journal(path)
+            report.add(f"format:{kind}", True,
+                       f"shard {header.get('shard')}: "
+                       f"{len(records)} accepted batch(es)")
+            return {"header": header, "records": records}
+        if base == "service_sheds":
+            from ..service.state import SHEDS_SCHEMA
+            from .telemetry import read_trace_log
+
+            records = read_trace_log(path, schema=SHEDS_SCHEMA)
+            bad = [r for r in records
+                   if r.get("kind") != "shed" or not r.get("reason")]
+            if bad:
+                report.add(f"format:{kind}", False,
+                           f"{len(bad)} malformed shed record(s)")
+                return None
+            report.add(f"format:{kind}", True, f"{len(records)} shed(s)")
+            return records
+        if base == "service_tenants":
+            from ..service.state import TENANTS_SCHEMA
+
+            data = json.loads(path.read_text())
+            if data.get("schema") != TENANTS_SCHEMA:
+                report.add(f"format:{kind}", False,
+                           f"schema {data.get('schema')!r}, expected "
+                           f"{TENANTS_SCHEMA!r}")
+                return None
+            report.add(f"format:{kind}", True,
+                       f"{len(data.get('tenants', {}))} tenant(s)")
+            return data
+        if base == "service_metrics":
+            from ..service.state import SERVICE_METRICS_SCHEMA
+
+            data = json.loads(path.read_text())
+            if data.get("schema") != SERVICE_METRICS_SCHEMA:
+                report.add(f"format:{kind}", False,
+                           f"schema {data.get('schema')!r}, expected "
+                           f"{SERVICE_METRICS_SCHEMA!r}")
+                return None
+            report.add(f"format:{kind}", True,
+                       f"schema {data['schema']}")
+            return data
         if kind == "journal":
             if path.stat().st_size == 0 \
                     and report.degradations.get("checkpoint_off"):
@@ -374,6 +440,7 @@ def verify_run(
 
 def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
     """Artifact-vs-artifact consistency checks."""
+    _cross_check_service(parsed, report)
     journal = parsed.get("journal")
     metrics = parsed.get("metrics")
     if journal is not None and metrics is not None:
@@ -433,10 +500,69 @@ def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
                        f"sums equal fast-path totals")
 
 
+def _cross_check_service(parsed: Dict[str, object],
+                         report: VerifyReport) -> None:
+    """The serving contract: snapshot digests == offline journal replay.
+
+    Replays every manifested shard journal's accepted batches through
+    fresh predictors and compares the resulting per-tenant digests with
+    the ``tenants.json`` snapshot the live server wrote — through any
+    crashes, respawns, and evictions the run survived.  Also proves no
+    accepted batch was silently double-counted: replayed event totals
+    must equal the snapshot's.
+    """
+    snapshot = parsed.get("service_tenants")
+    journals = {kind: data for kind, data in parsed.items()
+                if base_kind(kind) == "service_journal"}
+    if snapshot is None or not journals:
+        return
+    from ..service.replay import replay_records
+
+    spec = snapshot.get("spec")
+    shard_records = {
+        data["header"].get("shard", index): data["records"]
+        for index, data in enumerate(journals.values())
+    }
+    try:
+        replayed = replay_records(spec, shard_records)
+    except Exception as exc:
+        report.add("service:replay", False,
+                   f"{type(exc).__name__}: {exc}")
+        return
+    recorded = snapshot.get("tenants", {})
+    mismatches = []
+    for tenant in sorted(set(recorded) | set(replayed)):
+        mine = recorded.get(tenant)
+        theirs = replayed.get(tenant)
+        if mine is None:
+            mismatches.append(f"{tenant}: journalled but not snapshotted")
+        elif theirs is None:
+            mismatches.append(f"{tenant}: snapshotted but not journalled")
+        elif (mine.get("digest") != theirs["digest"]
+              or mine.get("events") != theirs["events"]
+              or mine.get("misses") != theirs["misses"]):
+            mismatches.append(
+                f"{tenant}: snapshot digest {mine.get('digest', '')[:12]} "
+                f"({mine.get('misses')}/{mine.get('events')}) vs replay "
+                f"{theirs['digest'][:12]} "
+                f"({theirs['misses']}/{theirs['events']})")
+    if mismatches:
+        report.add("service:replay", False, "; ".join(mismatches[:3]))
+    else:
+        events = sum(record["events"] for record in replayed.values())
+        report.add("service:replay", True,
+                   f"{len(replayed)} tenant(s), {events} accepted "
+                   f"event(s): snapshot digests bit-identical to journal "
+                   f"replay")
+
+
 def _check_against(run_dir: Path, baseline_dir: Path,
                    artifacts: Dict[str, dict],
                    report: VerifyReport) -> None:
     """Bit-identity of this run's results against a baseline run's."""
+    if "service_tenants" in artifacts:
+        _check_service_against(run_dir, baseline_dir, artifacts, report)
+        return
     mine = run_dir / "results.jsonl"
     theirs = baseline_dir / "results.jsonl"
     if not theirs.exists():
@@ -484,3 +610,50 @@ def _check_against(run_dir: Path, baseline_dir: Path,
     else:
         report.add("against:attribution", True,
                    "attribution bit-identical to baseline")
+
+
+def _check_service_against(run_dir: Path, baseline_dir: Path,
+                           artifacts: Dict[str, dict],
+                           report: VerifyReport) -> None:
+    """Serving bit-identity: this run's tenant states vs a reference.
+
+    The baseline is usually a ``repro replay`` output directory (the
+    offline oracle), but any serving run over the same accepted streams
+    works.  Comparison is on the per-tenant records — counters and
+    digests — not raw file bytes, so a baseline need not reproduce
+    incidental fields like per-shard respawn counts.
+    """
+    entry = artifacts["service_tenants"]
+    mine_path = Path(entry["path"])
+    if not mine_path.is_absolute():
+        mine_path = run_dir / mine_path
+    theirs_path = baseline_dir / "tenants.json"
+    if not theirs_path.exists():
+        report.add("against", False,
+                   f"baseline snapshot {theirs_path} missing "
+                   f"(run `repro replay` to produce one)")
+        return
+    try:
+        mine = json.loads(mine_path.read_text()).get("tenants", {})
+        theirs = json.loads(theirs_path.read_text()).get("tenants", {})
+    except (OSError, ValueError) as exc:
+        report.add("against", False, f"unreadable snapshot: {exc}")
+        return
+    mismatches = []
+    for tenant in sorted(set(mine) | set(theirs)):
+        ours, base = mine.get(tenant), theirs.get(tenant)
+        if ours is None or base is None:
+            mismatches.append(
+                f"{tenant}: only in "
+                f"{'baseline' if ours is None else 'this run'}")
+        elif any(ours.get(field) != base.get(field)
+                 for field in ("digest", "events", "misses", "seq")):
+            mismatches.append(f"{tenant}: state differs from baseline")
+    if mismatches:
+        report.add("against", False,
+                   "; ".join(mismatches[:3])
+                   + " (determinism violation)")
+    else:
+        report.add("against", True,
+                   f"{len(mine)} tenant state(s) bit-identical to "
+                   f"baseline {baseline_dir}")

@@ -1,0 +1,72 @@
+"""Prediction-as-a-service: fault-tolerant async serving of predictors.
+
+The batch CLI answers "what is this predictor's misprediction rate?";
+this package answers "can that predictor be *served*?" — many tenants,
+each with its own live predictor instance, streaming ``(pc, target)``
+event batches at an asyncio server and getting predictions and
+cumulative accuracy back, while shards crash, queues fill, and tenants
+churn in and out of memory.
+
+The serving contract (DESIGN.md §3.10):
+
+1. every accepted batch is eventually **answered or explicitly shed** —
+   there is no silent drop path, and every shed is journalled;
+2. accepted state is **provable**: each shard journals accepted batches
+   before applying them, and the final per-tenant digests must be
+   bit-identical to an offline replay of those journals
+   (``repro replay`` / ``repro verify --against``), through crashes,
+   respawns, and LRU eviction.
+
+Modules: :mod:`.protocol` (framing + routing), :mod:`.state` (tenant
+state, digests, shard journal, LRU residency), :mod:`.shard` (the
+worker process), :mod:`.server` (admission, back-pressure, recovery),
+:mod:`.client` (deadlines, retries, circuit breaker), :mod:`.loadgen`
+(deterministic load), :mod:`.replay` (the offline oracle).
+"""
+
+from .client import CircuitBreaker, ServiceClient
+from .loadgen import run_loadgen, tenant_stream
+from .protocol import (
+    MAX_FRAME_BYTES, encode_frame, read_frame, recv_frame, send_frame,
+    shard_for, write_frame,
+)
+from .replay import replay_records, replay_run, write_replay
+from .server import PredictionServer, latency_summary, serve
+from .shard import ShardCore, shard_main
+from .state import (
+    JOURNAL_SCHEMA, SERVICE_METRICS_SCHEMA, SHEDS_SCHEMA, TENANTS_SCHEMA,
+    ShardJournal, TenantMeta, TenantState, TenantStore,
+    read_service_journal, valid_tenant,
+)
+
+__all__ = [
+    "CircuitBreaker",
+    "JOURNAL_SCHEMA",
+    "MAX_FRAME_BYTES",
+    "PredictionServer",
+    "SERVICE_METRICS_SCHEMA",
+    "SHEDS_SCHEMA",
+    "ServiceClient",
+    "ShardCore",
+    "ShardJournal",
+    "TENANTS_SCHEMA",
+    "TenantMeta",
+    "TenantState",
+    "TenantStore",
+    "encode_frame",
+    "latency_summary",
+    "read_frame",
+    "read_service_journal",
+    "recv_frame",
+    "replay_records",
+    "replay_run",
+    "run_loadgen",
+    "send_frame",
+    "serve",
+    "shard_for",
+    "shard_main",
+    "tenant_stream",
+    "valid_tenant",
+    "write_frame",
+    "write_replay",
+]

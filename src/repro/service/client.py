@@ -1,0 +1,265 @@
+"""The service client: deadlines, retry with backoff, circuit breaking.
+
+:class:`ServiceClient` is the blocking-socket counterpart of the server.
+Failure handling is layered:
+
+* **per-request deadline** — every send/receive runs under a socket
+  timeout; a request that blows it counts as a transport failure;
+* **retry with exponential backoff** — transport failures and retryable
+  server errors are retried up to ``max_attempts`` times.  Retrying an
+  ``events`` batch is always safe: the server deduplicates on the batch
+  id, so a batch whose response was lost is answered idempotently;
+* **per-shard circuit breaker** — consecutive failures against one
+  shard open its breaker; while open, requests to that shard fail fast
+  (or wait out the cooldown when the budget allows) instead of piling
+  onto a struggling shard.  One probe is admitted half-open; success
+  closes the breaker.
+
+The clock and sleep are injectable so the whole ladder is testable in
+virtual time.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..errors import ProtocolError, ServiceError
+from .protocol import recv_frame, send_frame, shard_for
+
+#: Breaker states (per shard).
+CLOSED, OPEN, HALF_OPEN = "closed", "open", "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over a set of shard ids."""
+
+    def __init__(
+        self,
+        threshold: int = 4,
+        cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ServiceError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self._failures: Dict[int, int] = {}
+        self._opened_at: Dict[int, float] = {}
+        self._probing: Dict[int, bool] = {}
+        self.opens = 0
+
+    def state(self, shard: int) -> str:
+        if shard not in self._opened_at:
+            return CLOSED
+        if self.clock() - self._opened_at[shard] >= self.cooldown:
+            return HALF_OPEN
+        return OPEN
+
+    def allow(self, shard: int) -> bool:
+        """Whether a request to ``shard`` may proceed right now.
+
+        Half-open admits a single probe; further requests stay blocked
+        until the probe reports back.
+        """
+        state = self.state(shard)
+        if state == CLOSED:
+            return True
+        if state == OPEN:
+            return False
+        if self._probing.get(shard):
+            return False
+        self._probing[shard] = True
+        return True
+
+    def remaining_cooldown(self, shard: int) -> float:
+        if shard not in self._opened_at:
+            return 0.0
+        return max(0.0, self.cooldown
+                   - (self.clock() - self._opened_at[shard]))
+
+    def record_success(self, shard: int) -> None:
+        self._failures.pop(shard, None)
+        self._opened_at.pop(shard, None)
+        self._probing.pop(shard, None)
+
+    def record_failure(self, shard: int) -> None:
+        self._probing.pop(shard, None)
+        if shard in self._opened_at:
+            # A failed half-open probe re-opens the window from now.
+            self._opened_at[shard] = self.clock()
+            return
+        count = self._failures.get(shard, 0) + 1
+        self._failures[shard] = count
+        if count >= self.threshold:
+            self._opened_at[shard] = self.clock()
+            self.opens += 1
+
+
+class ServiceClient:
+    """A blocking client for one prediction server.
+
+    Args:
+        host/port: the server's listen address.
+        deadline: per-request socket timeout in seconds.
+        max_attempts: total attempts per request before
+            :class:`~repro.errors.ServiceError` is raised.
+        backoff/backoff_factor: exponential retry delay
+            (``backoff * factor**attempt`` seconds).
+        breaker_threshold/breaker_cooldown: circuit-breaker tuning.
+        clock/sleep: injectable time sources for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        deadline: float = 5.0,
+        max_attempts: int = 5,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        breaker_threshold: int = 4,
+        breaker_cooldown: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.deadline = deadline
+        self.max_attempts = max_attempts
+        self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.clock = clock
+        self.sleep = sleep
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown,
+                                      clock=clock)
+        self.shards: Optional[int] = None
+        self.retries = 0
+        self.breaker_waits = 0
+        self._sock: Optional[socket.socket] = None
+
+    # -- connection management -----------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        sock = socket.create_connection((self.host, self.port),
+                                        timeout=self.deadline)
+        sock.settimeout(self.deadline)
+        self._sock = sock
+        return sock
+
+    def _drop_connection(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close of a dead socket
+                pass
+            self._sock = None
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- request ladder ------------------------------------------------------
+
+    def _request(self, message: dict, shard: Optional[int] = None) -> dict:
+        """Send one request through deadline/retry/breaker; returns the reply.
+
+        ``shard`` scopes the circuit breaker; ops without a tenant
+        (ping/stats/shutdown) bypass it.
+        """
+        started = self.clock()
+        errors: List[str] = []
+        for attempt in range(self.max_attempts):
+            if attempt:
+                self.retries += 1
+                self.sleep(self.backoff
+                           * self.backoff_factor ** (attempt - 1))
+            if shard is not None and not self.breaker.allow(shard):
+                # Breaker open: wait out the cooldown, then retry (the
+                # half-open probe).  The wait burns this attempt.
+                self.breaker_waits += 1
+                errors.append(f"breaker open for shard {shard}")
+                self.sleep(self.breaker.remaining_cooldown(shard))
+                continue
+            try:
+                sock = self._connect()
+                send_frame(sock, message)
+                reply = recv_frame(sock)
+                if reply is None:
+                    raise ProtocolError("server closed the connection")
+            except (OSError, ProtocolError) as exc:
+                self._drop_connection()
+                errors.append(f"{type(exc).__name__}: {exc}")
+                if shard is not None:
+                    self.breaker.record_failure(shard)
+                continue
+            if reply.get("status") == "error" and reply.get("retryable"):
+                errors.append(f"server: {reply.get('reason')}")
+                if shard is not None:
+                    self.breaker.record_failure(shard)
+                continue
+            if shard is not None:
+                self.breaker.record_success(shard)
+            return reply
+        raise ServiceError(
+            f"request failed after {self.max_attempts} attempt(s): "
+            f"{errors[-1] if errors else 'no attempts ran'}"
+        ).with_context(
+            op=message.get("op"), tenant=message.get("tenant"),
+            shard=shard, attempts=self.max_attempts,
+            elapsed=round(self.clock() - started, 3),
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def ping(self) -> dict:
+        reply = self._request({"op": "ping"})
+        self.shards = reply.get("shards", self.shards)
+        return reply
+
+    def stats(self) -> dict:
+        return self._request({"op": "stats"})
+
+    def shutdown(self) -> dict:
+        reply = self._request({"op": "shutdown"})
+        self._drop_connection()
+        return reply
+
+    def shard_of(self, tenant: str) -> int:
+        """The shard this client routes ``tenant``'s batches to."""
+        if self.shards is None:
+            self.ping()
+        return shard_for(tenant, self.shards)
+
+    def send_events(
+        self,
+        tenant: str,
+        bid: int,
+        pcs: Sequence[int],
+        targets: Sequence[int],
+        priority: int = 1,
+        want_predictions: bool = False,
+    ) -> dict:
+        """Submit one batch; returns the terminal ``ok``/``shed`` reply.
+
+        Raises :class:`~repro.errors.ServiceError` only when every
+        attempt failed at the transport level — a shed is a valid,
+        explicit answer, not an error.
+        """
+        message = {
+            "op": "events", "tenant": tenant, "bid": bid,
+            "priority": priority, "pcs": list(pcs),
+            "targets": list(targets),
+        }
+        if want_predictions:
+            message["want_predictions"] = True
+        return self._request(message, shard=self.shard_of(tenant))

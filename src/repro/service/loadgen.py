@@ -1,0 +1,225 @@
+"""Deterministic load generator for the prediction service.
+
+``repro loadgen`` drives a running server with the repo's own synthetic
+workload model: each tenant is a :class:`~repro.workloads.program.
+WorkloadConfig` stream (seeded per tenant, so every run offers the
+server the same event streams), cut into fixed-size batches with
+strictly increasing batch ids.  Tenants are spread across worker
+threads so several shards see concurrent load — which is what makes the
+back-pressure and shedding ladders actually fire.
+
+Outcome accounting is exhaustive: every batch ends ``ok`` (applied or
+deduplicated), ``shed`` (with the server's reason), or ``failed`` (the
+client's retry budget died trying — transport-level, counted but never
+silently dropped).  The client-side cumulative counters are
+cross-checked against the server's replies, so a lost or double-applied
+batch shows up as an inconsistency in the summary.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..workloads.program import WorkloadConfig, generate_trace
+from .client import ServiceClient
+from .server import latency_summary
+
+#: JSON schema identifier of the loadgen summary.
+LOADGEN_SCHEMA = "repro-service-loadgen/1"
+
+
+def tenant_name(index: int) -> str:
+    return f"t{index:02d}"
+
+
+def tenant_stream(index: int, events: int, seed: int = 1):
+    """The deterministic event stream of one synthetic tenant."""
+    config = WorkloadConfig(name=tenant_name(index), events=events,
+                            seed=1000 * seed + index)
+    return generate_trace(config)
+
+
+class _Totals:
+    """Thread-shared outcome accounting."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.sent = 0
+        self.ok = 0
+        self.applied = 0
+        self.duplicates = 0
+        self.shed = 0
+        self.failed = 0
+        self.events_applied = 0
+        self.events_shed = 0
+        self.backpressure_hints = 0
+        self.inconsistencies: List[str] = []
+        self.sheds_by_reason: Dict[str, int] = {}
+        self.latencies: List[float] = []
+
+
+def _drive_tenant(
+    client: ServiceClient,
+    totals: _Totals,
+    index: int,
+    batches: int,
+    batch_events: int,
+    seed: int,
+    throttle: float,
+) -> None:
+    tenant = tenant_name(index)
+    trace = tenant_stream(index, batches * batch_events, seed=seed)
+    priority = index % 3
+    expected_events = 0
+    last_counters: Optional[dict] = None
+    for batch_index in range(batches):
+        start = batch_index * batch_events
+        pcs = list(trace.pcs[start:start + batch_events])
+        targets = list(trace.targets[start:start + batch_events])
+        began = time.perf_counter()
+        try:
+            reply = client.send_events(tenant, bid=batch_index + 1,
+                                       pcs=pcs, targets=targets,
+                                       priority=priority)
+        except Exception as exc:
+            with totals.lock:
+                totals.sent += 1
+                totals.failed += 1
+                totals.inconsistencies.append(
+                    f"{tenant}#{batch_index + 1}: {type(exc).__name__}: "
+                    f"{exc}")
+            continue
+        elapsed = time.perf_counter() - began
+        with totals.lock:
+            totals.sent += 1
+            totals.latencies.append(elapsed)
+            if reply.get("status") == "ok":
+                totals.ok += 1
+                if reply.get("applied"):
+                    totals.applied += 1
+                    totals.events_applied += len(pcs)
+                    expected_events += len(pcs)
+                else:
+                    totals.duplicates += 1
+                    expected_events += len(pcs)  # applied before the retry
+                last_counters = reply
+                if reply.get("events") != expected_events:
+                    totals.inconsistencies.append(
+                        f"{tenant}#{batch_index + 1}: server counts "
+                        f"{reply.get('events')} events, client expects "
+                        f"{expected_events}")
+                if reply.get("backpressure"):
+                    totals.backpressure_hints += 1
+            else:
+                reason = reply.get("reason", "unknown")
+                totals.shed += 1
+                totals.events_shed += len(pcs)
+                totals.sheds_by_reason[reason] = (
+                    totals.sheds_by_reason.get(reason, 0) + 1)
+        if reply.get("backpressure") or reply.get("status") == "shed":
+            # Well-behaved tenant: ease off when the server asks.
+            time.sleep(throttle)
+    if last_counters is not None and last_counters.get("digest") is None:
+        with totals.lock:  # pragma: no cover - contract violation
+            totals.inconsistencies.append(f"{tenant}: reply carries no digest")
+
+
+def run_loadgen(
+    host: str,
+    port: int,
+    tenants: int = 6,
+    batches: int = 12,
+    batch_events: int = 64,
+    seed: int = 1,
+    concurrency: int = 3,
+    deadline: float = 5.0,
+    max_attempts: int = 5,
+    backoff: float = 0.05,
+    breaker_threshold: int = 4,
+    breaker_cooldown: float = 1.0,
+    throttle: float = 0.02,
+    shutdown: bool = False,
+    out: Optional[str] = None,
+) -> dict:
+    """Drive a server with deterministic tenant streams; return the summary.
+
+    With ``shutdown=True`` the server is asked to drain and finalise its
+    artifacts after the run (what the soak and CI harnesses use).
+    """
+    totals = _Totals()
+    concurrency = max(1, min(concurrency, tenants))
+    started = time.perf_counter()
+
+    def make_client() -> ServiceClient:
+        return ServiceClient(
+            host, port, deadline=deadline, max_attempts=max_attempts,
+            backoff=backoff, breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown)
+
+    clients: List[ServiceClient] = []
+
+    def worker(worker_index: int) -> None:
+        client = make_client()
+        clients.append(client)
+        with client:
+            for index in range(worker_index, tenants, concurrency):
+                _drive_tenant(client, totals, index, batches, batch_events,
+                              seed, throttle)
+
+    threads = [threading.Thread(target=worker, args=(i,),
+                                name=f"loadgen-{i}")
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    final_client = make_client()
+    with final_client:
+        try:
+            server_stats: Optional[dict] = final_client.stats()
+        except Exception:
+            server_stats = None
+        if shutdown:
+            try:
+                final_client.shutdown()
+            except Exception:  # pragma: no cover - server died first
+                pass
+
+    summary = {
+        "schema": LOADGEN_SCHEMA,
+        "tenants": tenants,
+        "batches_per_tenant": batches,
+        "batch_events": batch_events,
+        "concurrency": concurrency,
+        "sent": totals.sent,
+        "ok": totals.ok,
+        "applied": totals.applied,
+        "duplicates": totals.duplicates,
+        "shed": totals.shed,
+        "failed": totals.failed,
+        "sheds_by_reason": dict(sorted(totals.sheds_by_reason.items())),
+        "backpressure_hints": totals.backpressure_hints,
+        "events_applied": totals.events_applied,
+        "events_shed": totals.events_shed,
+        "retries": sum(c.retries for c in clients),
+        "breaker_opens": sum(c.breaker.opens for c in clients),
+        "breaker_waits": sum(c.breaker_waits for c in clients),
+        "latency": latency_summary(totals.latencies),
+        "wall_s": round(wall, 3),
+        "events_per_sec": round(totals.events_applied / wall, 1)
+        if wall > 0 else 0.0,
+        "inconsistencies": totals.inconsistencies,
+        "server_stats": server_stats,
+    }
+    if out:
+        target = Path(out)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(summary, indent=2, sort_keys=True)
+                          + "\n")
+    return summary

@@ -1,0 +1,175 @@
+"""Wire protocol of the prediction service: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object.  The same framing runs in
+both directions; every request object carries an ``"op"`` field:
+
+``{"op": "ping"}``
+    Liveness + topology probe.  Answered with the shard count and spec,
+    which is how :class:`~repro.service.client.ServiceClient` learns the
+    routing modulus.
+
+``{"op": "events", "tenant": T, "bid": N, "priority": P,
+   "pcs": [...], "targets": [...], "want_predictions": bool}``
+    One batch of ``(branch PC, resolved target)`` events for tenant
+    ``T``.  ``bid`` is the client's per-tenant batch id, strictly
+    increasing; the server deduplicates on it, so retrying an unanswered
+    batch is always safe (exactly-once application, at-least-once
+    delivery).  Answered with ``{"status": "ok"}`` carrying cumulative
+    tenant counters, ``{"status": "shed", "reason": ...}`` when admission
+    control refuses the batch, or ``{"status": "error", "retryable":
+    bool}`` on a malformed or failed request.
+
+``{"op": "stats"}``
+    Server + per-shard counters (queue depths, sheds, respawns).
+
+``{"op": "shutdown"}``
+    Graceful drain: in-flight batches finish, state is snapshotted, the
+    manifest is written.
+
+Frames are capped at :data:`MAX_FRAME_BYTES`; an oversized, truncated,
+or unparseable frame raises :class:`~repro.errors.ProtocolError` (a
+clean EOF *between* frames is ``None``, not an error).  Tenants are
+routed to shards by CRC-32 of the tenant name — deliberately not
+Python's salted ``hash()``, so the mapping is stable across processes
+and restarts (the journal of shard ``k`` must keep describing shard
+``k``'s tenants after a respawn).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+import zlib
+from typing import Optional
+
+from ..errors import ProtocolError
+
+#: Frame header: payload byte length, 4-byte big-endian unsigned.
+HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's payload (a batch of ~100k events fits).
+MAX_FRAME_BYTES = 8 << 20
+
+#: Request operations the server understands.
+OPS = ("ping", "events", "stats", "shutdown")
+
+
+def encode_frame(message: dict) -> bytes:
+    """Serialise one message into a framed byte string."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict:
+    """Parse one frame payload; the object form is validated here."""
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"unparseable frame payload: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got "
+            f"{type(message).__name__}"
+        )
+    return message
+
+
+def _read_length(header: bytes) -> int:
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"announced frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    return length
+
+
+# -- synchronous (client) side ----------------------------------------------
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF before the first byte."""
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining}/{count} "
+                f"bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message: dict) -> None:
+    """Write one framed message to a blocking socket."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    length = _read_length(header)
+    payload = _recv_exact(sock, length) if length else b""
+    if payload is None:  # pragma: no cover - zero-length EOF race
+        raise ProtocolError("connection closed mid-frame (no payload)")
+    return decode_payload(payload)
+
+
+# -- asyncio (server) side ---------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """Read one framed message; ``None`` on clean EOF between frames."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError(
+            f"connection closed mid-header ({len(exc.partial)}/"
+            f"{HEADER.size} bytes read)"
+        ) from None
+    length = _read_length(header)
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)}/{length} "
+            f"bytes read)"
+        ) from None
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    """Write one framed message and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- routing -----------------------------------------------------------------
+
+
+def shard_for(tenant: str, shards: int) -> int:
+    """The shard owning ``tenant``: CRC-32 of the name, mod shard count.
+
+    Stable across processes and restarts (unlike the salted built-in
+    ``hash``), so clients and respawned servers always agree on routing.
+    """
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    return zlib.crc32(tenant.encode("utf-8")) % shards

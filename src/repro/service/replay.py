@@ -1,0 +1,107 @@
+"""Offline replay of shard journals: the serving bit-identity oracle.
+
+A serving run's journals record every accepted batch in accept order.
+Because predictor state is a pure function of the applied stream,
+replaying those batches through fresh predictors must land on exactly
+the per-tenant digests the live server snapshotted — through any number
+of shard crashes, respawns, evictions, and reloads.  ``repro replay``
+materialises that oracle as a ``tenants.json`` of its own, and
+``repro verify`` compares the two (directly via the parsed journals, or
+across run directories via ``--against``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from ..core.factory import predictor_from_spec
+from ..errors import ServiceError
+from .shard import journal_path
+from .state import TENANTS_SCHEMA, TenantMeta, read_service_journal
+
+PathLike = Union[str, Path]
+
+
+def replay_records(
+    spec: str,
+    shard_records: Dict[int, List[dict]],
+) -> Dict[str, dict]:
+    """Replay accepted batches -> final per-tenant counters + digests.
+
+    ``shard_records`` maps shard id to that shard's accept records in
+    journal order (batch order within a tenant is total because one
+    shard owns the tenant).  Mirrors the live path exactly: predict +
+    update per event, fold each batch into the running digest.
+    """
+    tenants: Dict[str, dict] = {}
+    for shard_id in sorted(shard_records):
+        predictors: Dict[str, object] = {}
+        metas: Dict[str, TenantMeta] = {}
+        for record in shard_records[shard_id]:
+            tenant = record["tenant"]
+            predictor = predictors.get(tenant)
+            if predictor is None:
+                predictor = predictors[tenant] = predictor_from_spec(spec)
+                metas[tenant] = TenantMeta()
+            pcs, targets = record["pcs"], record["targets"]
+            misses = predictor.run_trace(pcs, targets)
+            metas[tenant].absorb(record["bid"], pcs, targets, misses)
+        for tenant, meta in metas.items():
+            if tenant in tenants:
+                raise ServiceError(
+                    f"tenant {tenant!r} appears in more than one shard "
+                    f"journal (routing violation)"
+                )
+            tenants[tenant] = {**meta.to_dict(), "shard": shard_id}
+    return dict(sorted(tenants.items()))
+
+
+def find_journals(run_dir: PathLike) -> Dict[int, Path]:
+    """The shard journals of a serving run directory, keyed by shard id."""
+    run_dir = Path(run_dir)
+    journals: Dict[int, Path] = {}
+    for path in sorted(run_dir.glob("journal-*.jsonl")):
+        stem = path.stem  # journal-<k>
+        suffix = stem.rsplit("-", 1)[-1]
+        if suffix.isdigit():
+            journals[int(suffix)] = path
+    return journals
+
+
+def replay_run(run_dir: PathLike) -> Tuple[str, Dict[str, dict]]:
+    """Replay every journal in ``run_dir`` -> (spec, tenants mapping)."""
+    journals = find_journals(run_dir)
+    if not journals:
+        raise ServiceError(f"{run_dir}: no journal-*.jsonl to replay")
+    spec: str = ""
+    shard_records: Dict[int, List[dict]] = {}
+    for shard_id, path in journals.items():
+        header, records = read_service_journal(path)
+        if spec and header["spec"] != spec:
+            raise ServiceError(
+                f"{path}: spec {header['spec']!r} disagrees with "
+                f"{spec!r} from an earlier journal"
+            )
+        spec = header["spec"]
+        shard_records[shard_id] = records
+    return spec, replay_records(spec, shard_records)
+
+
+def write_replay(run_dir: PathLike, out_dir: PathLike) -> Path:
+    """``repro replay``: write the oracle ``tenants.json`` to ``out_dir``."""
+    spec, tenants = replay_run(run_dir)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": TENANTS_SCHEMA,
+        "spec": spec,
+        "shards": len(find_journals(run_dir)),
+        "source": f"offline replay of {Path(run_dir).name}",
+        "shard_meta": [],
+        "tenants": tenants,
+    }
+    target = out_dir / "tenants.json"
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target

@@ -1,0 +1,237 @@
+"""The shard worker process: owns one partition of the tenant space.
+
+A shard is a single-threaded loop over a multiprocessing request queue.
+Per batch it runs the exactly-once ladder:
+
+1. **chaos crossings** — ``service.slow_shard`` (stall) and
+   ``service.shard_exit`` (SIGKILL) fire here, *before* the journal
+   append, modelling a shard dying mid-batch;
+2. **duplicate check** — a batch id at or below the tenant's watermark
+   was already applied (its response was lost); answer with the
+   cumulative counters without re-applying;
+3. **journal before apply** — the batch is fsync'd into the shard
+   journal first, so a crash between journal and response makes the
+   retry a duplicate rather than a double-apply.  A failing journal
+   flips the shard into shed-everything mode (``journal_unavailable``):
+   state the run could not re-prove is never created;
+4. **apply** — predict/update through the tenant's predictor, fold the
+   batch into the running digest;
+5. **churn** — a fired ``tenant.churn`` fault force-evicts the tenant's
+   state to the trace cache, exercising the evict/reload path under
+   load.
+
+On a stop sentinel the shard writes its final per-tenant snapshot
+(``tenants-<k>.json``) atomically and exits.  On startup it replays its
+journal, which is also how a respawned shard recovers everything its
+predecessor accepted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import sys
+import time
+import traceback
+from pathlib import Path
+from typing import Optional
+
+from ..errors import ReproError
+from ..runtime import chaos
+from ..runtime.cache import TraceCache
+from ..runtime.telemetry import Tracer
+from .state import (
+    ShardJournal, TENANTS_SCHEMA, TenantStore, valid_tenant,
+)
+
+#: Seconds a shard blocks on its request queue before orphan-checking.
+_POLL_SECONDS = 0.2
+
+
+def journal_path(run_dir: Path, shard_id: int) -> Path:
+    return Path(run_dir) / f"journal-{shard_id}.jsonl"
+
+
+def snapshot_path(run_dir: Path, shard_id: int) -> Path:
+    return Path(run_dir) / f"tenants-{shard_id}.json"
+
+
+class ShardCore:
+    """The testable heart of a shard: queues and processes stripped away."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        spec: str,
+        run_dir: Path,
+        max_resident: int = 8,
+        tracer: Optional[Tracer] = None,
+    ) -> None:
+        self.shard_id = shard_id
+        self.spec = spec
+        self.run_dir = Path(run_dir)
+        self.tracer = tracer or Tracer()
+        self.journal = ShardJournal(journal_path(self.run_dir, shard_id),
+                                    shard_id, spec)
+        cache = TraceCache(self.run_dir / "tenant-cache")
+        cache.tracer = self.tracer
+        self.store = TenantStore(
+            spec, cache, max_resident=max_resident,
+            journal_stream=self.journal.stream_for, tracer=self.tracer,
+        )
+        self.batches = 0
+        self.duplicates = 0
+        self.replayed = len(self.journal.replayed)
+        for record in self.journal.replayed:
+            self.store.replay_batch(record["tenant"], record["bid"],
+                                    record["pcs"], record["targets"])
+
+    def handle(self, tenant: str, bid: int, pcs, targets,
+               want_predictions: bool = False) -> dict:
+        """Run one batch through the exactly-once ladder; returns the reply.
+
+        The reply is the body of the client-visible response (sans
+        transport fields): ``{"status": "ok", ...}`` with cumulative
+        counters, or ``{"status": "shed", "reason":
+        "journal_unavailable"}`` once the journal has degraded.
+        """
+        plan = chaos.active()
+        plan.inject("service.slow_shard", label=tenant)
+        plan.inject("service.shard_exit", label=tenant)
+        if not valid_tenant(tenant) or not isinstance(bid, int) or bid < 1:
+            return {"status": "error", "retryable": False,
+                    "reason": f"bad tenant/bid: {tenant!r}/{bid!r}"}
+        if len(pcs) != len(targets):
+            return {"status": "error", "retryable": False,
+                    "reason": f"pcs/targets length mismatch "
+                              f"({len(pcs)} vs {len(targets)})"}
+        if bid <= self.store.last_bid(tenant):
+            # Already applied; the earlier response was lost in a crash
+            # or timeout.  Answer idempotently from the counters.
+            self.duplicates += 1
+            return {"status": "ok", "applied": False, "batch_misses": 0,
+                    **self.store.cumulative(tenant)}
+        if not self.journal.append(tenant, bid, pcs, targets):
+            return {"status": "shed", "reason": "journal_unavailable"}
+        misses, predictions = self.store.apply_batch(
+            tenant, bid, pcs, targets, want_predictions)
+        self.batches += 1
+        reply = {"status": "ok", "applied": True, "batch_misses": misses,
+                 **self.store.cumulative(tenant)}
+        if predictions is not None:
+            reply["predictions"] = predictions
+        if plan.inject("tenant.churn", label=tenant) is not None:
+            self.store.evict(tenant)
+        return reply
+
+    def stats(self) -> dict:
+        return {
+            "shard": self.shard_id,
+            "batches": self.batches,
+            "duplicates": self.duplicates,
+            "replayed": self.replayed,
+            "tenants": len(self.store.meta),
+            "resident": self.store.resident_count,
+            "evictions": self.store.evictions,
+            "reloads": self.store.reloads,
+            "journal_disabled": self.journal.disabled,
+        }
+
+    def write_snapshot(self) -> Path:
+        """Atomically write the final per-tenant state snapshot."""
+        target = snapshot_path(self.run_dir, self.shard_id)
+        payload = {
+            "schema": TENANTS_SCHEMA,
+            "shard": self.shard_id,
+            "spec": self.spec,
+            "journal_disabled": self.journal.disabled,
+            "tenants": self.store.snapshot(),
+        }
+        scratch = target.with_suffix(".tmp")
+        scratch.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                           + "\n")
+        os.replace(scratch, target)
+        return target
+
+    def close(self) -> None:
+        self.journal.close()
+
+
+def shard_main(
+    shard_id: int,
+    spec: str,
+    run_dir: str,
+    request_queue,
+    response_queue,
+    chaos_plan_path: Optional[str],
+    max_resident: int,
+    parent_pid: int,
+) -> None:
+    """Process entry point: replay the journal, then serve the queue.
+
+    Message grammar (requests): ``("batch", req_id, tenant, bid, pcs,
+    targets, want_predictions)``, ``("stats", req_id)``, ``("stop",)``.
+    Responses: ``("ok", req_id, reply)``, ``("shed", req_id, reason)``,
+    ``("err", req_id, type, message)``, ``("event", name, attrs)``,
+    ``("stats", req_id, payload)``, ``("stopped", shard_id)``.
+    """
+    if chaos_plan_path:
+        # Share the parent's fired-fault tickets, like pool workers do.
+        chaos.install(chaos.ChaosPlan.load(chaos_plan_path))
+    tracer = Tracer()
+    core: Optional[ShardCore] = None
+    try:
+        core = ShardCore(shard_id, spec, Path(run_dir),
+                         max_resident=max_resident, tracer=tracer)
+        response_queue.put(("event", "shard_ready", {
+            "shard": shard_id, "replayed": core.replayed,
+        }))
+        _shard_loop(core, request_queue, response_queue, parent_pid)
+    except Exception as exc:  # pragma: no cover - crash diagnostics
+        response_queue.put(("event", "shard_error", {
+            "shard": shard_id,
+            "error": f"{type(exc).__name__}: {exc}",
+            "trace": traceback.format_exc(limit=5),
+        }))
+        sys.exit(1)
+    finally:
+        if core is not None:
+            core.close()
+
+
+def _shard_loop(core: ShardCore, request_queue, response_queue,
+                parent_pid: int) -> None:
+    journal_was_disabled = False
+    while True:
+        try:
+            message = request_queue.get(timeout=_POLL_SECONDS)
+        except queue.Empty:
+            if os.getppid() != parent_pid:
+                return  # orphaned: the server died without stopping us
+            continue
+        kind = message[0]
+        if kind == "stop":
+            core.write_snapshot()
+            response_queue.put(("stopped", core.shard_id))
+            return
+        if kind == "stats":
+            response_queue.put(("stats", message[1], core.stats()))
+            continue
+        _, req_id, tenant, bid, pcs, targets, want_predictions = message
+        started = time.perf_counter()
+        try:
+            reply = core.handle(tenant, bid, pcs, targets, want_predictions)
+        except ReproError as exc:
+            response_queue.put(("err", req_id, type(exc).__name__, str(exc)))
+            continue
+        reply["shard_seconds"] = round(time.perf_counter() - started, 6)
+        if reply["status"] == "shed":
+            response_queue.put(("shed", req_id, reply["reason"]))
+        else:
+            response_queue.put(("ok", req_id, reply))
+        if core.journal.disabled and not journal_was_disabled:
+            journal_was_disabled = True
+            response_queue.put(("event", "journal_off", {
+                "shard": core.shard_id,
+            }))

@@ -1,0 +1,473 @@
+"""Per-tenant predictor state, the shard journal, and LRU residency.
+
+The serving contract rests on one fact about the paper's predictors:
+their state is a pure function of the applied ``(pc, target)`` event
+stream.  Everything here exploits that.
+
+* :class:`TenantMeta` — the tiny always-resident record per tenant:
+  cumulative counters, the last accepted batch id (the idempotency
+  watermark), and a *running* SHA-256 over the accepted stream.  Its
+  :meth:`~TenantMeta.digest` is the tenant's state fingerprint: an
+  offline replay of the same accepted batches produces the same digest,
+  which is how ``repro verify`` proves a served tenant bit-identical to
+  one rebuilt from the journal.
+
+* :class:`TenantState` — the heavy, *evictable* part: the live predictor
+  plus the accepted stream columns needed to rebuild it.
+
+* :class:`ShardJournal` — an fsync'd JSONL journal of accepted batches,
+  one per shard.  Batches are journalled **before** they are applied, so
+  a shard SIGKILLed mid-batch either never journalled the batch (the
+  server requeues it; the respawned shard applies it fresh) or did (the
+  respawned shard's replay makes the retry a duplicate).  Either way the
+  batch is applied exactly once.  A journal whose appends start failing
+  flips to ``disabled`` and the shard sheds instead of accepting work it
+  could not re-prove — availability is sacrificed before auditability.
+
+* :class:`TenantStore` — bounded residency: at most ``max_resident``
+  tenants keep live predictors; the least recently used is parked in the
+  run's :class:`~repro.runtime.cache.TraceCache` as an ordinary trace
+  and rebuilt — by replay, hence bit-identically — on its next batch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import struct
+from array import array
+from collections import OrderedDict
+from pathlib import Path
+from typing import (
+    Callable, Dict, List, Optional, Sequence, Tuple, Union,
+)
+
+from ..core.factory import predictor_from_spec
+from ..errors import ServiceError
+from ..runtime.cache import TraceCache
+from ..runtime.chaos import active as active_chaos
+from ..runtime.telemetry import NULL_TRACER
+from ..workloads.trace import Trace, TraceMetadata
+
+PathLike = Union[str, Path]
+
+#: JSON schema identifier of a shard's accepted-batch journal.
+JOURNAL_SCHEMA = "repro-service-journal/1"
+
+#: JSON schema identifier of the shed journal (sheds.jsonl).
+SHEDS_SCHEMA = "repro-service-sheds/1"
+
+#: JSON schema identifier of the final per-tenant state snapshot.
+TENANTS_SCHEMA = "repro-service-tenants/1"
+
+#: JSON schema identifier of the serving metrics artifact.
+SERVICE_METRICS_SCHEMA = "repro-service-metrics/1"
+
+#: Tenant names double as cache keys and journal fields; keep them tame.
+TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+_COUNTERS = struct.Struct("<QQQ")
+_BATCH_HEAD = struct.Struct("<QI")
+
+
+def valid_tenant(name: object) -> bool:
+    """Whether ``name`` is a usable tenant identifier."""
+    return isinstance(name, str) and bool(TENANT_NAME.match(name))
+
+
+class TenantMeta:
+    """Always-resident tenant record: counters + running stream hash.
+
+    Survives eviction (it is a few hundred bytes), so a tenant parked in
+    the trace cache still answers duplicate checks and digest queries
+    without being rebuilt.
+    """
+
+    __slots__ = ("seq", "events", "misses", "last_bid", "_sha")
+
+    def __init__(self) -> None:
+        self.seq = 0          # accepted batches
+        self.events = 0       # accepted events
+        self.misses = 0       # mispredictions across the accepted stream
+        self.last_bid = 0     # idempotency watermark (bids are >= 1)
+        self._sha = hashlib.sha256()
+
+    def absorb(self, bid: int, pcs: Sequence[int], targets: Sequence[int],
+               misses: int) -> None:
+        """Fold one applied batch into the counters and the stream hash."""
+        self._sha.update(_BATCH_HEAD.pack(bid, len(pcs)))
+        self._sha.update(array("I", pcs).tobytes())
+        self._sha.update(array("I", targets).tobytes())
+        self.seq += 1
+        self.events += len(pcs)
+        self.misses += misses
+        self.last_bid = bid
+
+    def digest(self) -> str:
+        """The tenant's state fingerprint (stream hash + counters).
+
+        Covers the accepted stream bytes, the batch boundaries, *and* the
+        cumulative misprediction count — i.e. both what was applied and
+        how the predictor behaved on it.  Replaying the journalled
+        batches in order through a fresh predictor reproduces it exactly.
+        """
+        closing = self._sha.copy()
+        closing.update(_COUNTERS.pack(self.seq, self.events, self.misses))
+        return closing.hexdigest()
+
+    def to_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "events": self.events,
+            "misses": self.misses,
+            "last_bid": self.last_bid,
+            "digest": self.digest(),
+        }
+
+
+class TenantState:
+    """The evictable half of a tenant: live predictor + accepted stream."""
+
+    __slots__ = ("predictor", "pcs", "targets")
+
+    def __init__(self, spec: str) -> None:
+        self.predictor = predictor_from_spec(spec)
+        self.pcs: array = array("L")
+        self.targets: array = array("L")
+
+    def apply(
+        self,
+        pcs: Sequence[int],
+        targets: Sequence[int],
+        want_predictions: bool = False,
+    ) -> Tuple[int, Optional[List[int]]]:
+        """Apply one batch; returns (mispredictions, optional predictions).
+
+        Mirrors the offline engine exactly (predict at fetch, update with
+        the resolved target, no-prediction counts as a miss).  Without
+        ``want_predictions`` the batch runs through the predictor's own
+        ``run_trace`` fast path — the *same* code the offline replay
+        uses, so live and replayed miss counts cannot drift apart.
+        """
+        predictor = self.predictor
+        predictions: Optional[List[int]] = None
+        if want_predictions:
+            misses = 0
+            predictions = []
+            for pc, target in zip(pcs, targets):
+                predicted = predictor.predict(pc)
+                predictions.append(predicted if predicted is not None else 0)
+                if predicted != target:
+                    misses += 1
+                predictor.update(pc, target)
+        else:
+            misses = predictor.run_trace(pcs, targets)
+        self.pcs.extend(pcs)
+        self.targets.extend(targets)
+        return misses, predictions
+
+    def rebuild(self, pcs: Sequence[int], targets: Sequence[int]) -> int:
+        """Replay a full accepted stream into this (fresh) state.
+
+        Returns the replayed misprediction count so the caller can check
+        it against the tenant's running counters — a cheap, continuous
+        determinism audit on every reload.
+        """
+        run = getattr(self.predictor, "run_trace", None)
+        if run is not None:
+            misses = run(pcs, targets)
+        else:  # pragma: no cover - built-in predictors define run_trace
+            misses, _ = self.apply(pcs, targets)
+            return misses
+        self.pcs.extend(pcs)
+        self.targets.extend(targets)
+        return misses
+
+
+# -- the accepted-batch journal ----------------------------------------------
+
+
+class ShardJournal:
+    """Fsync'd JSONL journal of one shard's accepted batches.
+
+    Line 1 is a header naming the schema, shard, and predictor spec;
+    every other line is one accepted batch.  Reopening replays the
+    journal (tolerating a torn final line — the signature of a SIGKILL
+    mid-append) and truncates to the good prefix before appending again,
+    exactly like the checkpoint journal it is modelled on.
+    """
+
+    def __init__(self, path: PathLike, shard_id: int, spec: str) -> None:
+        self.path = Path(path)
+        self.shard_id = shard_id
+        self.spec = spec
+        #: ``True`` once an append failed; the shard sheds from then on.
+        self.disabled = False
+        #: batches recovered from an existing journal, in accept order.
+        self.replayed: List[dict] = []
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        good_bytes = 0
+        if self.path.exists() and self.path.stat().st_size:
+            header, self.replayed, good_bytes = _read_journal_bytes(
+                self.path.read_bytes(), str(self.path))
+            if header.get("shard") != shard_id or header.get("spec") != spec:
+                raise ServiceError(
+                    f"{self.path}: journal belongs to shard "
+                    f"{header.get('shard')!r} spec {header.get('spec')!r}, "
+                    f"not shard {shard_id} spec {spec!r}"
+                )
+        self._stream = open(self.path, "r+b" if good_bytes else "wb")
+        self._stream.truncate(good_bytes)
+        self._stream.seek(good_bytes)
+        if not good_bytes:
+            self._write_line({
+                "schema": JOURNAL_SCHEMA,
+                "shard": shard_id,
+                "spec": spec,
+            })
+
+    def _write_line(self, record: dict) -> None:
+        self._stream.write(
+            json.dumps(record, sort_keys=True).encode("utf-8") + b"\n")
+        self._stream.flush()
+        os.fsync(self._stream.fileno())
+
+    def append(self, tenant: str, bid: int, pcs: Sequence[int],
+               targets: Sequence[int]) -> bool:
+        """Durably record one accepted batch *before* it is applied.
+
+        ``False`` (and ``disabled``) when the disk — or an injected
+        ``journal.append`` fault — refuses the write: the batch must
+        then be shed, never applied off the record.
+        """
+        if self.disabled:
+            return False
+        try:
+            active_chaos().inject("journal.append",
+                                  label=f"service:{tenant}")
+            self._write_line({
+                "kind": "accept",
+                "tenant": tenant,
+                "bid": bid,
+                "pcs": list(pcs),
+                "targets": list(targets),
+            })
+            return True
+        except OSError:
+            self.disabled = True
+            return False
+
+    def stream_for(self, tenant: str) -> Tuple[List[int], List[int]]:
+        """The tenant's full accepted stream, re-read from this journal.
+
+        The cache-miss fallback for reloading an evicted tenant: scans
+        the on-disk journal (safe to read while open for append).
+        """
+        _, records, _ = _read_journal_bytes(
+            self.path.read_bytes(), str(self.path))
+        pcs: List[int] = []
+        targets: List[int] = []
+        for record in records:
+            if record.get("tenant") == tenant:
+                pcs.extend(record["pcs"])
+                targets.extend(record["targets"])
+        return pcs, targets
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+
+def _read_journal_bytes(raw: bytes, origin: str) -> Tuple[dict, List[dict], int]:
+    """Parse journal bytes -> (header, accept records, good byte count)."""
+    records: List[dict] = []
+    header: dict = {}
+    good = 0
+    lines = raw.split(b"\n")
+    for index, line in enumerate(lines):
+        if not line:
+            continue
+        last = index >= len(lines) - 2  # final line (file ends with \n)
+        try:
+            record = json.loads(line.decode("utf-8"))
+            if not isinstance(record, dict):
+                raise ValueError("journal line is not an object")
+        except (ValueError, UnicodeDecodeError):
+            if last:
+                break  # torn tail from a SIGKILL mid-append: drop it
+            raise ServiceError(f"{origin}:{index + 1}: corrupt journal line")
+        if index == 0:
+            if record.get("schema") != JOURNAL_SCHEMA:
+                raise ServiceError(
+                    f"{origin}: not a {JOURNAL_SCHEMA} journal "
+                    f"(header {record!r})"
+                )
+            header = record
+        elif record.get("kind") == "accept":
+            records.append(record)
+        else:
+            if not last:
+                raise ServiceError(
+                    f"{origin}:{index + 1}: unknown journal record "
+                    f"{record.get('kind')!r}"
+                )
+            break
+        good += len(line) + 1
+    if not header:
+        raise ServiceError(f"{origin}: empty journal")
+    return header, records, good
+
+
+def read_service_journal(path: PathLike) -> Tuple[dict, List[dict]]:
+    """Read-only journal parse for verification and offline replay."""
+    header, records, _ = _read_journal_bytes(Path(path).read_bytes(),
+                                             str(path))
+    return header, records
+
+
+# -- bounded residency -------------------------------------------------------
+
+
+class TenantStore:
+    """All of one shard's tenants, at most ``max_resident`` of them live.
+
+    Args:
+        spec: predictor spec every tenant's instance is built from.
+        cache: trace cache the evicted streams are parked in.
+        max_resident: live-predictor budget (LRU beyond it).
+        journal_stream: fallback loader (``tenant -> (pcs, targets)``)
+            used when the cache cannot serve a parked stream — normally
+            :meth:`ShardJournal.stream_for`.
+        tracer: telemetry for evict/reload events.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        cache: TraceCache,
+        max_resident: int = 8,
+        journal_stream: Optional[
+            Callable[[str], Tuple[Sequence[int], Sequence[int]]]] = None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        if max_resident < 1:
+            raise ServiceError(
+                f"max_resident must be >= 1, got {max_resident}")
+        self.spec = spec
+        self.cache = cache
+        self.max_resident = max_resident
+        self.journal_stream = journal_stream
+        self.tracer = tracer
+        self.meta: Dict[str, TenantMeta] = {}
+        self._resident: "OrderedDict[str, TenantState]" = OrderedDict()
+        self.evictions = 0
+        self.reloads = 0
+
+    def _cache_key(self, tenant: str) -> str:
+        return f"tenant-{tenant}"
+
+    def last_bid(self, tenant: str) -> int:
+        meta = self.meta.get(tenant)
+        return meta.last_bid if meta else 0
+
+    def cumulative(self, tenant: str) -> dict:
+        """The tenant's cumulative counters (zeros for an unknown one)."""
+        meta = self.meta.get(tenant)
+        return meta.to_dict() if meta else TenantMeta().to_dict()
+
+    @property
+    def resident_count(self) -> int:
+        return len(self._resident)
+
+    def apply_batch(
+        self,
+        tenant: str,
+        bid: int,
+        pcs: Sequence[int],
+        targets: Sequence[int],
+        want_predictions: bool = False,
+    ) -> Tuple[int, Optional[List[int]]]:
+        """Apply one (already journalled) batch to a tenant.
+
+        Returns ``(batch mispredictions, optional predictions)``; the
+        cumulative counters live in :meth:`cumulative`.
+        """
+        state = self._state(tenant)
+        misses, predictions = state.apply(pcs, targets, want_predictions)
+        self.meta.setdefault(tenant, TenantMeta()).absorb(
+            bid, pcs, targets, misses)
+        return misses, predictions
+
+    def replay_batch(self, tenant: str, bid: int, pcs: Sequence[int],
+                     targets: Sequence[int]) -> None:
+        """Apply one journalled batch during respawn recovery."""
+        self.apply_batch(tenant, bid, pcs, targets)
+
+    # -- residency -----------------------------------------------------------
+
+    def _state(self, tenant: str) -> TenantState:
+        state = self._resident.get(tenant)
+        if state is not None:
+            self._resident.move_to_end(tenant)
+            return state
+        state = self._reload(tenant)
+        while len(self._resident) >= self.max_resident:
+            self.evict(next(iter(self._resident)))
+        self._resident[tenant] = state
+        return state
+
+    def _reload(self, tenant: str) -> TenantState:
+        state = TenantState(self.spec)
+        meta = self.meta.get(tenant)
+        if meta is None or meta.events == 0:
+            return state  # brand-new tenant: nothing to replay
+        trace = self.cache.load(self._cache_key(tenant))
+        if trace is not None:
+            pcs: Sequence[int] = trace.pcs
+            targets: Sequence[int] = trace.targets
+            source = "cache"
+        elif self.journal_stream is not None:
+            pcs, targets = self.journal_stream(tenant)
+            source = "journal"
+        else:
+            raise ServiceError(
+                f"tenant {tenant!r} has {meta.events} accepted events but "
+                f"no parked stream to rebuild from"
+            ).with_context(tenant=tenant)
+        misses = state.rebuild(pcs, targets)
+        if len(pcs) != meta.events or misses != meta.misses:
+            raise ServiceError(
+                f"tenant {tenant!r} rebuilt to {misses} misses over "
+                f"{len(pcs)} events; counters say {meta.misses} over "
+                f"{meta.events} (state divergence)"
+            ).with_context(tenant=tenant, source=source)
+        self.reloads += 1
+        self.tracer.event("tenant_reload", tenant=tenant, source=source,
+                          events=meta.events)
+        return state
+
+    def evict(self, tenant: str) -> bool:
+        """Park ``tenant``'s stream in the cache and drop its predictor.
+
+        The running hash and counters stay in :attr:`meta`; the predictor
+        is rebuilt by replay on the tenant's next batch.  ``False`` when
+        the tenant was not resident.
+        """
+        state = self._resident.pop(tenant, None)
+        if state is None:
+            return False
+        metadata = TraceMetadata(name=self._cache_key(tenant))
+        self.cache.store(self._cache_key(tenant),
+                         Trace(state.pcs, state.targets, metadata))
+        self.evictions += 1
+        self.tracer.event("tenant_evict", tenant=tenant,
+                          events=len(state.pcs),
+                          resident=len(self._resident))
+        return True
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Final counters + digest for every tenant ever seen."""
+        return {tenant: meta.to_dict()
+                for tenant, meta in sorted(self.meta.items())}

@@ -23,7 +23,7 @@ from repro.runtime.chaos import (
     NO_CHAOS,
 )
 from repro.runtime.checkpoint import CheckpointJournal
-from repro.runtime.faults import FaultInjectedError
+from repro.errors import FaultInjectedError
 from repro.runtime.telemetry import Tracer
 from repro.sim.suite_runner import SuiteRunner
 from repro.workloads import WorkloadConfig, generate_trace

@@ -214,3 +214,47 @@ class TestTraceLogCli:
         records = read_trace_log(log_path)
         events = {r["name"] for r in records if r["kind"] == "event"}
         assert {"journal_replay", "pool_start", "dispatch"} <= events
+
+
+class TestExitCodeEdges:
+    """The 0/1/2/3/4 contract must hold on the ugly paths too."""
+
+    def test_sigint_mid_run_exits_4_without_manifest(
+            self, tmp_path, capsys, monkeypatch):
+        # Interrupt inside the sweep itself: the CLI must classify it
+        # (exit 4, one-line diagnosis) and must NOT write a manifest —
+        # an interrupted run may not masquerade as a verifiable one.
+        from repro.sim.suite_runner import SuiteRunner
+
+        def interrupted(self, config, benchmarks=None):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SuiteRunner, "rates", interrupted)
+        ckpt = tmp_path / "ckpt"
+        code = main(["simulate", "btb", "perl", "--scale", "0.02",
+                     "--checkpoint-dir", str(ckpt)])
+        assert code == 4
+        assert "error: interrupted" in capsys.readouterr().err
+        assert not (ckpt / "manifest.json").exists()
+        # And without its manifest the run directory fails verification.
+        assert main(["verify", str(ckpt)]) == 4
+
+    def test_oserror_during_manifest_write_exits_1(
+            self, tmp_path, capsys, monkeypatch):
+        # The manifest write is the run's last I/O; a disk that fills up
+        # right there must still produce a clean exit-1 diagnosis, never
+        # a traceback, and never a half-written "verified" run.
+        from repro.runtime import verify as verify_module
+
+        def disk_full(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(verify_module, "write_manifest", disk_full)
+        ckpt = tmp_path / "ckpt"
+        code = main(["simulate", "btb", "perl", "--scale", "0.02",
+                     "--checkpoint-dir", str(ckpt)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "No space left on device" in err
+        assert not (ckpt / "manifest.json").exists()

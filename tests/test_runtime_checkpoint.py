@@ -6,8 +6,9 @@ import pytest
 
 from repro.core.config import BTBConfig, TwoLevelConfig
 from repro.errors import CheckpointError
-from repro.runtime import CheckpointJournal, FlakyCallable, config_key
-from repro.runtime.faults import FaultInjectedError
+from repro.errors import FaultInjectedError
+from repro.runtime import CheckpointJournal, config_key
+from tests.fault_helpers import FlakyCallable
 from repro.sim.engine import SimulationResult, simulate
 from repro.sim.suite_runner import SuiteRunner
 from repro.sim.sweep import sweep

@@ -2,9 +2,15 @@
 
 import pytest
 
-from repro.errors import ConfigError, DeadlineError, ReproError, SimulationError
-from repro.runtime import ExecutionPolicy, FakeClock, FaultInjectedError, run_with_policy
-from repro.runtime.faults import FlakyCallable, SlowCallable
+from repro.errors import (
+    ConfigError,
+    DeadlineError,
+    FaultInjectedError,
+    ReproError,
+    SimulationError,
+)
+from repro.runtime import ExecutionPolicy, run_with_policy
+from tests.fault_helpers import FakeClock, FlakyCallable, SlowCallable
 
 
 class TestExecutionPolicyValidation:

@@ -1,0 +1,131 @@
+"""Tests for the client failure ladder: breaker, retries, backoff."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.client import (
+    CLOSED, HALF_OPEN, OPEN, CircuitBreaker, ServiceClient,
+)
+from repro.service.server import latency_summary
+from tests.fault_helpers import FakeClock
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=3, cooldown=1.0, clock=clock)
+        assert breaker.state(0) == CLOSED
+        for _ in range(2):
+            breaker.record_failure(0)
+        assert breaker.state(0) == CLOSED  # one short of the threshold
+        breaker.record_failure(0)
+        assert breaker.state(0) == OPEN
+        assert not breaker.allow(0)
+        assert breaker.opens == 1
+
+    def test_success_resets_the_streak(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, clock=clock)
+        breaker.record_failure(0)
+        breaker.record_success(0)
+        breaker.record_failure(0)
+        assert breaker.state(0) == CLOSED
+
+    def test_half_open_admits_a_single_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure(0)
+        assert breaker.state(0) == OPEN
+        clock.advance(1.0)
+        assert breaker.state(0) == HALF_OPEN
+        assert breaker.allow(0)       # the probe
+        assert not breaker.allow(0)   # everyone else waits on it
+        breaker.record_success(0)
+        assert breaker.state(0) == CLOSED
+        assert breaker.allow(0)
+
+    def test_failed_probe_reopens_the_window(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=1.0, clock=clock)
+        breaker.record_failure(0)
+        clock.advance(1.0)
+        assert breaker.allow(0)
+        breaker.record_failure(0)  # probe failed
+        assert breaker.state(0) == OPEN
+        assert breaker.remaining_cooldown(0) == pytest.approx(1.0)
+
+    def test_breakers_are_per_shard(self):
+        breaker = CircuitBreaker(threshold=1, clock=FakeClock())
+        breaker.record_failure(0)
+        assert breaker.state(0) == OPEN
+        assert breaker.state(1) == CLOSED
+        assert breaker.allow(1)
+
+
+class TestClientRetryLadder:
+    def _client(self, clock, **kwargs):
+        kwargs.setdefault("max_attempts", 4)
+        kwargs.setdefault("backoff", 0.1)
+        kwargs.setdefault("backoff_factor", 2.0)
+        client = ServiceClient("127.0.0.1", 1, clock=clock,
+                               sleep=clock.sleep, **kwargs)
+        client.shards = 2  # skip the ping a live server would answer
+        return client
+
+    def test_transport_failure_exhausts_attempts_with_backoff(self,
+                                                              monkeypatch):
+        clock = FakeClock()
+        client = self._client(clock, breaker_threshold=10)
+
+        def refuse():
+            raise OSError("connection refused")
+        monkeypatch.setattr(client, "_connect", refuse)
+
+        with pytest.raises(ServiceError) as excinfo:
+            client.send_events("t00", 1, [1], [2])
+        assert "4 attempt(s)" in str(excinfo.value)
+        assert client.retries == 3
+        # Exponential backoff between attempts: 0.1, 0.2, 0.4.
+        assert clock.sleeps == [pytest.approx(0.1), pytest.approx(0.2),
+                                pytest.approx(0.4)]
+
+    def test_breaker_open_waits_out_the_cooldown(self, monkeypatch):
+        clock = FakeClock()
+        client = self._client(clock, breaker_threshold=2,
+                              breaker_cooldown=5.0)
+
+        def refuse():
+            raise OSError("connection refused")
+        monkeypatch.setattr(client, "_connect", refuse)
+
+        with pytest.raises(ServiceError):
+            client.send_events("t00", 1, [1], [2])
+        # Attempts 1-2 failed and opened the breaker; later attempts
+        # burned on the cooldown instead of hammering the dead shard.
+        assert client.breaker.opens == 1
+        assert client.breaker_waits > 0
+        # One sleep waited out (the remainder of) the 5 s cooldown.
+        assert max(clock.sleeps) > 4.0
+
+    def test_shed_reply_is_an_answer_not_an_error(self, monkeypatch):
+        clock = FakeClock()
+        client = self._client(clock)
+        monkeypatch.setattr(
+            client, "_request",
+            lambda message, shard=None: {"status": "shed",
+                                         "reason": "overload"})
+        reply = client.send_events("t00", 1, [1], [2])
+        assert reply["status"] == "shed"
+
+
+class TestLatencySummary:
+    def test_percentiles(self):
+        samples = [i / 100 for i in range(1, 101)]
+        summary = latency_summary(samples)
+        assert summary["count"] == 100
+        assert summary["p50_s"] == pytest.approx(0.50, abs=0.02)
+        assert summary["p99_s"] == pytest.approx(0.99, abs=0.02)
+        assert summary["max_s"] == pytest.approx(1.0)
+
+    def test_empty(self):
+        assert latency_summary([])["count"] == 0

@@ -1,0 +1,116 @@
+"""End-to-end serving tests: a real ``repro serve`` over TCP.
+
+One subprocess server per test, driven by the library-level loadgen;
+asserts the full contract — answered batches, graceful shutdown with a
+verifiable manifest, offline replay bit-identity, tamper detection, and
+the SIGINT exit-code policy.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.__main__ import main
+from repro.service.loadgen import run_loadgen
+from repro.service.replay import write_replay
+
+SPEC = "btb:entries=64,assoc=2"
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [SRC] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return env
+
+
+def _start_server(run_dir, *extra):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", SPEC,
+         "--run-dir", str(run_dir), "--shards", "2", "--max-resident", "2",
+         *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_env())
+    endpoint = Path(run_dir) / "endpoint.json"
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise AssertionError(
+                f"server died during startup (exit {process.returncode}):\n"
+                f"{process.communicate()[1]}")
+        if endpoint.is_file():
+            try:
+                info = json.loads(endpoint.read_text())
+            except (OSError, ValueError):
+                info = {}
+            if info.get("port"):
+                return process, info
+        time.sleep(0.05)
+    process.kill()
+    raise AssertionError("server never wrote a live endpoint.json")
+
+
+class TestServeEndToEnd:
+    def test_full_cycle_replay_verify_and_tamper(self, tmp_path):
+        run_dir = tmp_path / "run"
+        process, info = _start_server(run_dir)
+        try:
+            summary = run_loadgen(
+                info["host"], info["port"], tenants=4, batches=3,
+                batch_events=24, concurrency=2, shutdown=True)
+            process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+        assert summary["ok"] == 12
+        assert summary["failed"] == 0
+        assert summary["shed"] == 0
+        assert summary["inconsistencies"] == []
+
+        # Offline replay of the journals is the oracle; the live
+        # snapshot must be bit-identical to it.
+        write_replay(run_dir, tmp_path / "replay")
+        assert main(["verify", str(run_dir),
+                     "--against", str(tmp_path / "replay")]) == 0
+
+        # Flip one byte of an accepted batch: the manifest's hashes (and
+        # the replay cross-check) must catch it — exit 4, not silence.
+        journal = next(run_dir.glob("journal-*.jsonl"))
+        raw = journal.read_bytes()
+        mark = raw.rindex(b'"pcs": [')
+        digit = raw.index(b"[", mark) + 1
+        flipped = (raw[:digit]
+                   + str((int(chr(raw[digit])) + 1) % 10).encode()
+                   + raw[digit + 1:])
+        journal.write_bytes(flipped)
+        assert main(["verify", str(run_dir),
+                     "--against", str(tmp_path / "replay")]) == 4
+
+    def test_sigint_mid_stream_exits_4_without_manifest(self, tmp_path):
+        run_dir = tmp_path / "run"
+        process, info = _start_server(run_dir)
+        try:
+            summary = run_loadgen(info["host"], info["port"], tenants=2,
+                                  batches=2, batch_events=16, concurrency=1)
+            assert summary["ok"] == 4
+            process.send_signal(signal.SIGINT)
+            _, stderr = process.communicate(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        # SIGINT mid-run is a classified failure: exit 4, a one-line
+        # diagnosis, and no manifest (the run dir must not verify).
+        assert process.returncode == 4
+        assert "error: interrupted" in stderr
+        assert not (run_dir / "manifest.json").exists()
+        assert main(["verify", str(run_dir)]) == 4

@@ -1,0 +1,169 @@
+"""Measure sustained serving throughput and tail latency under loadgen.
+
+Runs a 2-shard ``repro serve`` twice — once clean, once under a fixed
+chaos plan (``--chaos-seed 4``: one shard crash plus tenant churn, so
+the run survives a respawn and LRU reloads mid-stream) — drives each
+with the same deterministic ``repro loadgen`` workload, and writes a
+``BENCH_serve.json`` record with sustained events/sec and p50/p99
+request latency for both.
+
+Budgets (enforced; nonzero exit on violation):
+
+* zero failed batches and zero client-side state inconsistencies in
+  both runs — chaos may slow the service, never corrupt it;
+* both runs must verify bit-identical against an offline replay of
+  their accepted journals (``repro verify --against``).
+
+Throughput under chaos is recorded, not budgeted: a crash-respawn cycle
+costs wall time by design, and the interesting number is how much.
+
+Usage::
+
+    python tools/bench_serve.py --out BENCH_serve.json
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+sys.path.insert(0, str(_SRC))
+
+_ENV = dict(os.environ)
+_ENV["PYTHONPATH"] = os.pathsep.join(
+    [str(_SRC)] + ([_ENV["PYTHONPATH"]] if _ENV.get("PYTHONPATH") else [])
+)
+
+SPEC = "btb:entries=128,assoc=2"
+SHARDS = 2
+CHAOS_SEED = 4
+LOADGEN = ("--tenants", "6", "--batches", "24", "--batch-events", "64",
+           "--concurrency", "3")
+RUN_TIMEOUT_SECONDS = 300
+
+
+def repro_cmd(*args):
+    return [sys.executable, "-m", "repro", *args]
+
+
+def serve_once(run_dir: Path, chaos_seed=None) -> dict:
+    """One serve + loadgen + replay + verify cycle; returns measurements."""
+    serve_args = ["serve", SPEC, "--run-dir", str(run_dir),
+                  "--shards", str(SHARDS)]
+    if chaos_seed is not None:
+        serve_args += ["--chaos-seed", str(chaos_seed)]
+    server = subprocess.Popen(
+        repro_cmd(*serve_args), stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True, env=_ENV)
+    try:
+        endpoint = run_dir / "endpoint.json"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if endpoint.is_file():
+                try:
+                    if json.loads(endpoint.read_text()).get("port"):
+                        break
+                except (OSError, ValueError):
+                    pass
+            if server.poll() is not None:
+                raise SystemExit(
+                    f"error: server died before listening "
+                    f"(exit {server.returncode})")
+            time.sleep(0.1)
+        else:
+            raise SystemExit("error: server never listened")
+        out = run_dir / "loadgen.json"
+        proc = subprocess.run(
+            repro_cmd("loadgen", "--endpoint", str(endpoint), *LOADGEN,
+                      "--shutdown", "--out", str(out)),
+            capture_output=True, text=True, timeout=RUN_TIMEOUT_SECONDS,
+            env=_ENV)
+        if proc.returncode != 0:
+            raise SystemExit(f"error: loadgen exit {proc.returncode}:\n"
+                             f"{proc.stderr}")
+        server.communicate(timeout=RUN_TIMEOUT_SECONDS)
+        if server.returncode not in (0, 3):
+            raise SystemExit(f"error: server exit {server.returncode}")
+        summary = json.loads(out.read_text())
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+
+    replay_dir = run_dir.parent / f"{run_dir.name}-replay"
+    for cmd in (repro_cmd("replay", str(run_dir), "--out", str(replay_dir)),
+                repro_cmd("verify", str(run_dir),
+                          "--against", str(replay_dir))):
+        proc = subprocess.run(cmd, capture_output=True, text=True,
+                              timeout=RUN_TIMEOUT_SECONDS, env=_ENV)
+        if proc.returncode != 0:
+            raise SystemExit(f"error: {' '.join(cmd[2:4])} exit "
+                             f"{proc.returncode}:\n{proc.stderr}")
+
+    latency = summary["latency"]
+    return {
+        "server_exit": server.returncode,
+        "events_applied": summary["events_applied"],
+        "events_per_sec": round(summary["events_per_sec"], 1),
+        "latency_p50_ms": round(1000 * latency["p50_s"], 2),
+        "latency_p99_ms": round(1000 * latency["p99_s"], 2),
+        "batches_ok": summary["ok"],
+        "batches_shed": summary["shed"],
+        "batches_failed": summary["failed"],
+        "inconsistencies": len(summary["inconsistencies"]),
+        "retries": summary["retries"],
+        "respawns": summary["server_stats"]["respawns"],
+        "verified_vs_replay": True,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark serving throughput and tail latency.")
+    parser.add_argument("--out", default="BENCH_serve.json",
+                        help="output JSON path")
+    parser.add_argument("--keep", default=None,
+                        help="keep run directories under this path "
+                             "(default: temporary, removed)")
+    args = parser.parse_args(argv)
+
+    base = Path(args.keep) if args.keep else Path(
+        tempfile.mkdtemp(prefix="repro-bench-serve-"))
+    base.mkdir(parents=True, exist_ok=True)
+
+    clean = serve_once(base / "clean")
+    chaotic = serve_once(base / "chaos", chaos_seed=CHAOS_SEED)
+
+    record = {
+        "benchmark": (f"loadgen {LOADGEN[1]} tenants x {LOADGEN[3]} "
+                      f"batches x {LOADGEN[5]} events, concurrency "
+                      f"{LOADGEN[7]}, {SHARDS} shards, {SPEC}"),
+        "clean": clean,
+        "chaos": {**chaotic, "chaos_seed": CHAOS_SEED},
+        "cpus": os.cpu_count(),
+    }
+    Path(args.out).write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n")
+    print(json.dumps(record, indent=2, sort_keys=True))
+
+    for label, result in (("clean", clean), ("chaos", chaotic)):
+        if result["batches_failed"] or result["inconsistencies"]:
+            print(f"error: {label} run had "
+                  f"{result['batches_failed']} failed batch(es) and "
+                  f"{result['inconsistencies']} inconsistency(ies)",
+                  file=sys.stderr)
+            return 1
+    print(f"serve bench: clean {clean['events_per_sec']:,.0f} ev/s "
+          f"(p99 {clean['latency_p99_ms']:.1f} ms), chaos "
+          f"{chaotic['events_per_sec']:,.0f} ev/s "
+          f"(p99 {chaotic['latency_p99_ms']:.1f} ms): OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,9 @@
 """Chaos soak harness: every seeded fault plan must end verified or cleanly failed.
 
 Runs a clean serial baseline, then one chaos run per seed (alternating
-serial and ``--workers 2``), each under a deterministic
-``repro-chaos-plan/1`` generated from the seed.  The acceptance contract,
-enforced per run:
+serial and ``--workers 2`` unless ``--workers`` pins a count), each under
+a deterministic ``repro-chaos-plan/1`` generated from the seed.  The
+acceptance contract, enforced per run:
 
 * exit 0 or 3 (clean / degraded-but-correct) — the run directory must
   pass ``repro verify --against BASELINE`` (bit-identical results);
@@ -16,10 +16,19 @@ enforced per run:
 * anything else — a crash, a hang past the timeout, silent corruption —
   fails the soak.
 
+``--mode service`` soaks the serving stack instead: each seed runs
+``repro serve`` under its chaos plan (shard crashes, slow shards, accept
+EIO, tenant churn, journal faults), drives it with ``repro loadgen``,
+and enforces the serving contract — every batch answered or explicitly
+shed, zero client-side inconsistencies, and the final per-tenant digests
+bit-identical to an offline ``repro replay`` of the accepted stream via
+``repro verify --against``.
+
 Usage::
 
     python tools/chaos_soak.py                  # 8 fixed seeds
     python tools/chaos_soak.py --seeds 1 2 3 --scale 0.02
+    python tools/chaos_soak.py --mode service --seeds 4 7 13
 """
 
 import argparse
@@ -29,6 +38,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 _SRC = Path(__file__).resolve().parent.parent / "src"
@@ -46,6 +56,7 @@ _ENV["PYTHONPATH"] = os.pathsep.join(
 DEFAULT_SEEDS = (11, 23, 37, 41, 53, 67, 79, 97)
 BENCHMARKS = ("perl", "ixx")
 SPEC = "btb"
+SERVICE_SPEC = "btb:entries=128,assoc=2"
 RUN_TIMEOUT_SECONDS = 300
 MAX_RESUMES = 3
 
@@ -86,9 +97,78 @@ def verify(run_dir, baseline):
     return code == 0
 
 
-def soak_one(seed, index, out_dir, scale, baseline):
+def soak_one_service(seed, out_dir, shards):
+    """One seeded serving chaos run; returns a result-row dict.
+
+    Serve under the seed's fault plan, drive it with loadgen, then hold
+    the run to the serving contract: loadgen reports zero failed batches
+    and zero state inconsistencies, the server exits 0/3, and the final
+    per-tenant digests verify bit-identical against an offline replay of
+    the accepted journals.
+    """
+    run_dir = out_dir / f"serve-{seed}"
+    row = {"seed": seed, "workers": shards, "exit": None, "resumes": 0}
+    server = subprocess.Popen(
+        repro_cmd("serve", SERVICE_SPEC, "--run-dir", str(run_dir),
+                  "--shards", str(shards), "--chaos-seed", str(seed)),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_ENV,
+    )
+    try:
+        endpoint = run_dir / "endpoint.json"
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            if endpoint.is_file() and server.poll() is None:
+                try:
+                    if json.loads(endpoint.read_text()).get("port"):
+                        break
+                except (OSError, ValueError):
+                    pass
+            if server.poll() is not None:
+                return {**row, "exit": server.returncode,
+                        "verdict": "FAIL (server died before listening)"}
+            time.sleep(0.1)
+        else:
+            return {**row, "exit": "timeout",
+                    "verdict": "FAIL (server never listened)"}
+        lg_code, lg_stderr = run(repro_cmd(
+            "loadgen", "--endpoint", str(endpoint),
+            "--tenants", "6", "--batches", "8", "--batch-events", "48",
+            "--concurrency", "3", "--shutdown",
+            "--out", str(run_dir / "loadgen.json")))
+        try:
+            _, serve_stderr = server.communicate(timeout=RUN_TIMEOUT_SECONDS)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            server.communicate()
+            return {**row, "exit": "timeout", "verdict": "FAIL (server hang)"}
+        row["exit"] = server.returncode
+        if lg_code != 0:
+            return {**row,
+                    "verdict": f"FAIL (loadgen exit {lg_code}): {lg_stderr}"}
+        if server.returncode not in (0, 3):
+            if "error:" not in serve_stderr:
+                return {**row, "verdict": "FAIL (unclassified server exit)"}
+            return {**row,
+                    "verdict": f"FAIL (server exit {server.returncode})"}
+        replay_dir = out_dir / f"serve-{seed}-replay"
+        code, stderr = run(repro_cmd("replay", str(run_dir),
+                                     "--out", str(replay_dir)))
+        if code != 0:
+            return {**row, "verdict": f"FAIL (replay exit {code}): {stderr}"}
+        if not verify(run_dir, replay_dir):
+            return {**row, "verdict": "FAIL (verification vs replay)"}
+        label = "verified" if server.returncode == 0 else "verified (degraded)"
+        return {**row, "verdict": label}
+    finally:
+        if server.poll() is None:
+            server.kill()
+            server.communicate()
+
+
+def soak_one(seed, index, out_dir, scale, baseline, workers=None):
     """One seeded chaos run; returns a result-row dict."""
-    workers = 2 if index % 2 else 1
+    if workers is None:
+        workers = 2 if index % 2 else 1
     run_dir = out_dir / f"run-{seed}"
     chaos = ["--chaos-seed", str(seed)]
     code, stderr = run(repro_cmd(*simulate_args(run_dir, scale, workers,
@@ -127,6 +207,14 @@ def main(argv=None):
     parser.add_argument("--seeds", type=int, nargs="+",
                         default=list(DEFAULT_SEEDS),
                         help="chaos plan seeds (default: 8 fixed seeds)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker (or, with --mode service, shard) count "
+                             "for every chaos run (default: alternate 1/2; "
+                             "service mode defaults to 2 shards)")
+    parser.add_argument("--mode", choices=("simulate", "service"),
+                        default="simulate",
+                        help="soak the batch simulator (default) or the "
+                             "prediction service fault points")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="trace scale for every run (default 0.05)")
     parser.add_argument("--out", default=None,
@@ -141,30 +229,44 @@ def main(argv=None):
     out_dir.mkdir(parents=True, exist_ok=True)
     keep = args.keep or bool(args.out)
 
-    baseline = out_dir / "baseline"
-    print(f"chaos soak: baseline serial run -> {baseline}", flush=True)
-    code, stderr = run(repro_cmd(*simulate_args(baseline, args.scale, 1)))
-    if code != 0:
-        print(f"baseline run failed (exit {code}):\n{stderr}", file=sys.stderr)
-        return 1
-    if not verify(baseline, baseline):
-        print("baseline run failed verification", file=sys.stderr)
-        return 1
-
     rows = []
-    for index, seed in enumerate(args.seeds):
-        result = soak_one(seed, index, out_dir, args.scale, baseline)
-        rows.append(result)
-        print(f"  seed {result['seed']:>4} workers={result['workers']} "
-              f"exit={result['exit']} -> {result['verdict']}", flush=True)
+    if args.mode == "service":
+        shards = args.workers or 2
+        print(f"chaos soak (service): {len(args.seeds)} seed(s), "
+              f"{shards} shard(s), spec {SERVICE_SPEC}", flush=True)
+        for seed in args.seeds:
+            result = soak_one_service(seed, out_dir, shards)
+            rows.append(result)
+            print(f"  seed {result['seed']:>4} shards={result['workers']} "
+                  f"exit={result['exit']} -> {result['verdict']}", flush=True)
+        title = (f"chaos soak: {len(rows)} serving plan(s) over "
+                 f"{SERVICE_SPEC}, {shards} shard(s)")
+    else:
+        baseline = out_dir / "baseline"
+        print(f"chaos soak: baseline serial run -> {baseline}", flush=True)
+        code, stderr = run(repro_cmd(*simulate_args(baseline, args.scale, 1)))
+        if code != 0:
+            print(f"baseline run failed (exit {code}):\n{stderr}",
+                  file=sys.stderr)
+            return 1
+        if not verify(baseline, baseline):
+            print("baseline run failed verification", file=sys.stderr)
+            return 1
+        for index, seed in enumerate(args.seeds):
+            result = soak_one(seed, index, out_dir, args.scale, baseline,
+                              workers=args.workers)
+            rows.append(result)
+            print(f"  seed {result['seed']:>4} workers={result['workers']} "
+                  f"exit={result['exit']} -> {result['verdict']}", flush=True)
+        title = (f"chaos soak: {len(rows)} plan(s) over {SPEC} x "
+                 f"{'+'.join(BENCHMARKS)} @ scale {args.scale}")
 
     print()
     print(format_table(
         ["seed", "workers", "exit", "resumes", "verdict"],
         [[r["seed"], r["workers"], r["exit"], r["resumes"], r["verdict"]]
          for r in rows],
-        title=f"chaos soak: {len(rows)} plan(s) over {SPEC} x "
-              f"{'+'.join(BENCHMARKS)} @ scale {args.scale}",
+        title=title,
     ))
     failures = [r for r in rows if r["verdict"].startswith("FAIL")]
     (out_dir / "soak-summary.json").write_text(
