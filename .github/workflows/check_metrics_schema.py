@@ -16,7 +16,10 @@ Each argument is dispatched on its embedded schema identifier:
   aggregate summary);
 * ``repro-manifest/1`` — a run-directory ``manifest.json`` (artifact
   entry shapes, known kinds, and — for artifacts that exist next to the
-  manifest — matching byte sizes and SHA-256 digests).
+  manifest — matching byte sizes and SHA-256 digests);
+* ``repro-ext-trace/1`` — an ingested external trace (header tables with
+  dense ids, event records referencing only declared ids, and an end
+  record whose event count matches).
 """
 
 import hashlib
@@ -28,12 +31,14 @@ METRICS_SCHEMA = "repro-run-metrics/2"
 TRACE_LOG_SCHEMA = "repro-trace-log/1"
 ATTRIBUTION_SCHEMA = "repro-attribution/1"
 MANIFEST_SCHEMA = "repro-manifest/1"
+EXT_TRACE_SCHEMA = "repro-ext-trace/1"
 MANIFEST_KINDS = {
     "journal": "repro-checkpoint/1",
     "metrics": METRICS_SCHEMA,
     "trace_log": TRACE_LOG_SCHEMA,
     "attribution": ATTRIBUTION_SCHEMA,
     "chaos_plan": "repro-chaos-plan/1",
+    "ext_trace": EXT_TRACE_SCHEMA,
 }
 DEGRADATION_EVENTS = {
     "cache_fallback", "serial_fallback", "checkpoint_off", "telemetry_off",
@@ -155,6 +160,52 @@ def check_attribution(path: str) -> None:
           f"({records} records, {totals['mispredictions']} misses attributed)")
 
 
+def check_ext_trace(path: str) -> None:
+    lines = open(path).read().splitlines()
+    assert lines, "empty ext-trace"
+    header = json.loads(lines[0])
+    assert header.get("schema") == EXT_TRACE_SCHEMA, header
+    assert header.get("producer") and header.get("producer_version"), header
+    assert header.get("name"), "ext-trace header has no name"
+    tables = {}
+    for table in ("sites", "targets"):
+        entries = header.get(table)
+        assert isinstance(entries, list) and entries, f"bad {table} table"
+        for index, entry in enumerate(entries):
+            assert entry.get("id") == index, \
+                f"{table} ids must be dense 0..n-1 (entry {index}: {entry})"
+            assert entry.get("label"), f"{table} entry {index} has no label"
+        tables[table] = len(entries)
+    events = 0
+    ended = False
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        assert not ended, f"line {number}: data after the end record"
+        if record.get("end"):
+            assert record.get("events") == events, \
+                f"end record says {record.get('events')}, counted {events}"
+            ended = True
+            continue
+        assert 0 <= record.get("s", -1) < tables["sites"], f"line {number}"
+        assert 0 <= record.get("t", -1) < tables["targets"], f"line {number}"
+        for site in record.get("p", []):
+            assert 0 <= site < tables["sites"], f"line {number}: path {site}"
+        events += 1
+    assert ended, "ext-trace has no end record"
+    assert events > 0, "ext-trace has no events"
+    print(f"{path}: valid {EXT_TRACE_SCHEMA} "
+          f"({events} events, {tables['sites']} sites, "
+          f"{tables['targets']} targets)")
+
+
+def manifest_base_kind(kind: str) -> str:
+    """``ext_trace.0`` -> ``ext_trace``; plain kinds pass through."""
+    base, dot, suffix = kind.partition(".")
+    if dot and suffix.isdigit():
+        return base
+    return kind
+
+
 def check_manifest(path: str) -> None:
     data = json.load(open(path))
     assert data["schema"] == MANIFEST_SCHEMA, data.get("schema")
@@ -168,10 +219,12 @@ def check_manifest(path: str) -> None:
     base = os.path.dirname(os.path.abspath(path))
     verified = 0
     for kind, entry in artifacts.items():
-        assert kind in MANIFEST_KINDS, f"unknown artifact kind {kind!r}"
+        base_kind = manifest_base_kind(kind)
+        assert base_kind in MANIFEST_KINDS, f"unknown artifact kind {kind!r}"
         assert set(entry) == {"path", "bytes", "sha256", "schema"}, \
             (kind, sorted(entry))
-        assert entry["schema"] == MANIFEST_KINDS[kind], (kind, entry["schema"])
+        assert entry["schema"] == MANIFEST_KINDS[base_kind], \
+            (kind, entry["schema"])
         assert len(entry["sha256"]) == 64, (kind, entry["sha256"])
         assert entry["bytes"] >= 0, (kind, entry["bytes"])
         # Artifacts produced by the run are recorded relative to the run
@@ -204,6 +257,8 @@ def check_artifact(path: str) -> None:
         check_trace_log(path)
     elif schema == ATTRIBUTION_SCHEMA:
         check_attribution(path)
+    elif schema == EXT_TRACE_SCHEMA:
+        check_ext_trace(path)
     else:
         # Multi-line JSON documents: the schema key is inside the body.
         data = json.load(open(path))

@@ -33,6 +33,21 @@ loop and write its per-cause / per-site / per-component artifact
     Generate a benchmark trace and write it to ``FILE`` (binary format, or
     text if the name ends in ``.txt``).
 
+``ingest python|bril|validate``
+    Produce (or check) external ``repro-ext-trace/1`` files — real
+    indirect-branch streams.  ``ingest python --out F -- CMD...``
+    records every dynamic dispatch of a live Python run (including the
+    repo's own test suite); ``ingest bril SOURCE --out F`` imports a
+    Bril-style linear trace.  Both simulation subcommands then accept
+    ``--ingest F`` (repeatable) to register the files: each becomes a
+    ``real-<name>`` benchmark that flows through sweeps (serial and
+    ``--workers N``), the attribution engine, and manifests, and all
+    registered externals average into the ``AVG-real`` group next to
+    the paper's AVG/AVG-OO/AVG-C.  Malformed ingest input exits 1 with
+    a one-line ``error:`` diagnosis carrying the record index and byte
+    offset, and leaves a ``<source>.quarantine.json`` sidecar.  See
+    DESIGN.md §3.11.
+
 ``verify RUN_DIR [--against BASELINE_DIR]``
     Check a completed run directory's ``repro-manifest/1`` (per-artifact
     SHA-256 + schema), re-validate every artifact, and cross-check them
@@ -88,9 +103,10 @@ from pathlib import Path
 from typing import List, Optional
 
 from .core.factory import config_from_spec
-from .errors import CheckpointError, ServiceError, SimulationError
+from .errors import CheckpointError, IngestError, ServiceError, SimulationError
 from .experiments import experiment_ids, run_experiment
 from .experiments.base import checkpointed_runner
+from .sim.groups import REAL_GROUP
 from .sim.reporting import format_table
 from .sim.suite_runner import SuiteRunner, shared_runner
 from .workloads import generate_trace, save_trace, save_trace_text, workload_config
@@ -122,6 +138,7 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     workers = getattr(args, "workers", 1)
     trace_log = getattr(args, "trace_log", None)
     attribution = getattr(args, "attribution", None)
+    ingest = getattr(args, "ingest", None) or []
     _prepare_output(trace_log)
     _prepare_output(attribution)
     _prepare_output(getattr(args, "metrics_out", None))
@@ -134,11 +151,27 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
         if args.resume and len(runner.checkpoint):
             print(f"resuming: {len(runner.checkpoint)} checkpointed "
                   f"simulation(s) will not be re-run", file=sys.stderr)
-        return runner
-    if workers > 1 or scale is not None or trace_log or attribution:
-        return SuiteRunner(scale=scale, workers=workers, trace_log=trace_log,
-                           attribution=bool(attribution))
-    return shared_runner()
+    elif workers > 1 or scale is not None or trace_log or attribution \
+            or ingest:
+        runner = SuiteRunner(scale=scale, workers=workers,
+                             trace_log=trace_log,
+                             attribution=bool(attribution))
+    else:
+        return shared_runner()
+    _register_ingest(runner, ingest)
+    return runner
+
+
+def _register_ingest(runner: SuiteRunner, paths: List[str]) -> None:
+    """Register ``--ingest`` files; a bad one exits 1 with offset context."""
+    if not paths:
+        return
+    from .ingest import ExternalTraceSource
+
+    for path in paths:
+        name = runner.register_external(ExternalTraceSource.open(path))
+        print(f"ingest: registered {path} as benchmark {name!r}",
+              file=sys.stderr)
 
 
 def _write_metrics(runner: SuiteRunner, path: Optional[str]) -> None:
@@ -178,6 +211,11 @@ def _finish_run(runner: SuiteRunner, args: argparse.Namespace) -> int:
         plan_path = getattr(active_chaos(), "path", None)
         if plan_path:
             artifacts["chaos_plan"] = plan_path
+        # Ingested source files are run inputs: manifest them (numbered,
+        # like shard journals) so `repro verify` re-hashes the exact
+        # bytes the run's real-* results came from.
+        for index, path in enumerate(getattr(args, "ingest", None) or []):
+            artifacts[f"ext_trace.{index}"] = path
         write_manifest(run_dir, artifacts, degradations=degradations,
                        workers=runner.workers)
     if degradations:
@@ -225,6 +263,12 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         help="install a journalled repro-chaos-plan/1 "
                              "file (already-fired faults stay fired, so "
                              "a resumed run does not re-suffer them)")
+    parser.add_argument("--ingest", action="append", metavar="FILE",
+                        default=None,
+                        help="register an external repro-ext-trace/1 "
+                             "file (from `repro ingest`); its "
+                             "'real-<name>' benchmark joins the run and "
+                             "the AVG-real group average (repeatable)")
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
@@ -255,17 +299,19 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     config = config_from_spec(args.spec)
     runner = _make_runner(args)
-    names = args.benchmarks or list(benchmark_names())
+    names = args.benchmarks \
+        or list(benchmark_names()) + list(runner.external_names())
     try:
         rates = runner.rates_with_groups(config, names)
     finally:
         _write_attribution(runner, args.attribution)
         _write_metrics(runner, args.metrics_out)
         runner.tracer.close()
+    groups = set(GROUPS) | {REAL_GROUP}
     rows = [[name, round(rate, 2)] for name, rate in rates.items()
-            if name not in GROUPS]
+            if name not in groups]
     rows += [[name, round(rate, 2)] for name, rate in rates.items()
-             if name in GROUPS]
+             if name in groups]
     print(format_table(["benchmark", "miss %"], rows,
                        title=f"{config.label} misprediction rates"))
     return _finish_run(runner, args)
@@ -324,7 +370,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         batch_events=args.batch_events, seed=args.seed,
         concurrency=args.concurrency, deadline=args.deadline,
         max_attempts=args.max_attempts, shutdown=args.shutdown,
-        out=args.out,
+        out=args.out, ingest=args.ingest,
     )
     latency = summary["latency"]
     print(f"loadgen: {summary['sent']} batch(es) -> {summary['ok']} ok "
@@ -352,6 +398,56 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     events = sum(record["events"] for record in tenants.values())
     print(f"replayed {len(tenants)} tenant(s), {events:,} accepted "
           f"event(s) -> {target}")
+    return 0
+
+
+def _cmd_ingest_python(args: argparse.Namespace) -> int:
+    from .ingest import read_ext_trace, record_command
+
+    command = list(args.command)
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        print("error: ingest python needs a command after '--'",
+              file=sys.stderr)
+        return 2
+    child_code = record_command(
+        command, args.out, name=args.name, engine=args.engine,
+        max_events=args.max_events)
+    parsed = read_ext_trace(args.out)  # strict re-read: prove the artifact
+    print(f"ingested {len(parsed):,} event(s) from {parsed.producer} "
+          f"({len(parsed.sites)} site(s), {len(parsed.targets)} "
+          f"target(s)) -> {args.out}")
+    if child_code != 0:
+        print(f"note: traced command exited {child_code}; the trace "
+              f"covers the run up to that exit", file=sys.stderr)
+    return child_code
+
+
+def _cmd_ingest_bril(args: argparse.Namespace) -> int:
+    from .ingest import import_bril, read_ext_trace
+
+    target = import_bril(args.source, args.out, name=args.name)
+    parsed = read_ext_trace(target)
+    print(f"imported {len(parsed):,} event(s) from {args.source} "
+          f"({len(parsed.sites)} site(s), {len(parsed.targets)} "
+          f"target(s)) -> {target}")
+    return 0
+
+
+def _cmd_ingest_validate(args: argparse.Namespace) -> int:
+    from .ingest import quarantine_ingest, read_ext_trace
+
+    for path in args.files:
+        try:
+            parsed = read_ext_trace(path)
+        except IngestError as exc:
+            quarantine_ingest(path, exc)
+            raise
+        print(f"{path}: valid repro-ext-trace/1 — {parsed.name!r} from "
+              f"{parsed.producer}/{parsed.producer_version}: "
+              f"{len(parsed):,} event(s), {len(parsed.sites)} site(s), "
+              f"{len(parsed.targets)} target(s)")
     return 0
 
 
@@ -400,6 +496,47 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--scale", type=float, default=None,
                        help="trace length multiplier")
     trace.set_defaults(handler=_cmd_trace)
+
+    ingest = subparsers.add_parser(
+        "ingest", help="produce/validate external repro-ext-trace/1 files")
+    ingest_sub = ingest.add_subparsers(dest="ingest_command", required=True)
+
+    ingest_python = ingest_sub.add_parser(
+        "python",
+        help="record real dispatch targets from a Python command "
+             "(sys.monitoring on 3.12+, dis/setprofile fallback)")
+    ingest_python.add_argument("--out", required=True, metavar="FILE",
+                               help="output repro-ext-trace/1 path")
+    ingest_python.add_argument("--name", default="pyrun",
+                               help="trace name; the benchmark becomes "
+                                    "'real-<name>' (default: pyrun)")
+    ingest_python.add_argument("--engine", default="auto",
+                               choices=["auto", "monitoring", "profile"],
+                               help="recorder engine (default: auto)")
+    ingest_python.add_argument("--max-events", type=int, metavar="N",
+                               default=200_000,
+                               help="stop recording after N events "
+                                    "(default: 200000)")
+    ingest_python.add_argument("command", nargs=argparse.REMAINDER,
+                               metavar="-- CMD",
+                               help="the Python command to trace, after "
+                                    "'--' (e.g. -- python -m pytest "
+                                    "tests/test_sim.py)")
+    ingest_python.set_defaults(handler=_cmd_ingest_python)
+
+    ingest_bril = ingest_sub.add_parser(
+        "bril", help="import a Bril-style --trace-out linear trace")
+    ingest_bril.add_argument("source", help="Bril JSON trace file")
+    ingest_bril.add_argument("--out", required=True, metavar="FILE",
+                             help="output repro-ext-trace/1 path")
+    ingest_bril.add_argument("--name", default=None,
+                             help="trace name (default: source stem)")
+    ingest_bril.set_defaults(handler=_cmd_ingest_bril)
+
+    ingest_validate = ingest_sub.add_parser(
+        "validate", help="strictly validate repro-ext-trace/1 files")
+    ingest_validate.add_argument("files", nargs="+", metavar="FILE")
+    ingest_validate.set_defaults(handler=_cmd_ingest_validate)
 
     verify = subparsers.add_parser(
         "verify", help="verify a completed run directory's artifacts")
@@ -479,6 +616,11 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen.add_argument("--out", metavar="FILE",
                          help="write the JSON summary "
                               "(repro-service-loadgen/1)")
+    loadgen.add_argument("--ingest", metavar="FILE",
+                         help="drive tenants with slices of an ingested "
+                              "repro-ext-trace/1 file instead of the "
+                              "synthetic streams (the replay oracle and "
+                              "verify --against work unchanged)")
     loadgen.set_defaults(handler=_cmd_loadgen)
 
     replay = subparsers.add_parser(
@@ -546,6 +688,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         # until the run is resumed to completion.
         print("error: interrupted", file=sys.stderr)
         return 4
+    except IngestError as exc:
+        # Malformed external-trace input: same one-line contract as an
+        # I/O failure (the message carries the record index and byte
+        # offset; a quarantine sidecar holds the structured context).
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     except OSError as exc:
         # Unwritable output paths and I/O failures exit cleanly instead of
         # dumping a traceback; library errors (ConfigError, ...) propagate.

@@ -54,6 +54,23 @@ class TraceError(ReproError, ValueError):
     """A malformed trace (bad event, inconsistent arrays, bad file format)."""
 
 
+class IngestError(ReproError, ValueError):
+    """A malformed or unusable external trace (``repro-ext-trace/1``).
+
+    Raised by the strict NDJSON reader in :mod:`repro.ingest.schema` and
+    by the adapters that produce the format.  The one-line message names
+    the file, the record index, and the byte offset of the offending
+    input; the same pair is carried structurally as :attr:`record` /
+    :attr:`byte_offset` so quarantined ingest artifacts can embed it
+    without re-parsing the message.
+    """
+
+    def __init__(self, *args: object) -> None:
+        super().__init__(*args)
+        self.record: int = 0
+        self.byte_offset: int = 0
+
+
 class SimulationError(ReproError, RuntimeError):
     """A failure during trace-driven simulation."""
 

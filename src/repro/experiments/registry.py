@@ -29,6 +29,7 @@ from . import (
     fig16,
     fig17,
     fig18_table6,
+    real_traces,
     scaling,
     table5,
     tables12,
@@ -53,6 +54,7 @@ _MODULES = (
     extensions,
     scaling,
     context_switch,
+    real_traces,
 )
 
 EXPERIMENTS: Dict[str, object] = {

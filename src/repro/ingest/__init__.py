@@ -1,0 +1,69 @@
+"""External trace ingestion: real indirect-branch streams (DESIGN.md §3.11).
+
+The subsystem that feeds *real* program behavior through the stack the
+synthetic suite already exercises — sweeps, attribution, verification,
+and serving:
+
+* :mod:`~repro.ingest.schema` — the versioned ``repro-ext-trace/1``
+  NDJSON format: strict reader (byte-offset diagnostics), atomic
+  writer, quarantine sidecars;
+* :mod:`~repro.ingest.recorder` — the CPython adapter: records live
+  dynamic-dispatch targets via ``sys.monitoring`` (py3.12+) or a
+  ``dis``-snapped ``sys.setprofile`` fallback, in-process or around an
+  arbitrary Python command (``repro ingest python -- CMD``);
+* :mod:`~repro.ingest.bril` — importer for Bril-style ``--trace-out``
+  linear traces (``repro ingest bril``);
+* :mod:`~repro.ingest.normalize` — maps external site/target ids into
+  trace-format-v2 columns and resolves registered sources through the
+  :class:`~repro.runtime.cache.TraceCache`, keyed on the source file's
+  SHA-256 digest.
+
+Public surface::
+
+    from repro.ingest import (
+        EXT_TRACE_SCHEMA, ExtTrace, read_ext_trace, write_ext_trace,
+        DispatchRecorder, record_command, import_bril,
+        ExternalTraceSource, load_external_trace, normalize,
+        trace_ingest_info, REAL_PREFIX,
+    )
+"""
+
+from .bril import import_bril
+from .normalize import (
+    REAL_PREFIX,
+    ExternalTraceSource,
+    load_external_trace,
+    normalize,
+    site_pc,
+    target_address,
+    trace_ingest_info,
+)
+from .recorder import DEFAULT_MAX_EVENTS, DispatchRecorder, record_command
+from .schema import (
+    EXT_TRACE_SCHEMA,
+    ExtTrace,
+    quarantine_ingest,
+    read_ext_trace,
+    source_digest,
+    write_ext_trace,
+)
+
+__all__ = [
+    "DEFAULT_MAX_EVENTS",
+    "DispatchRecorder",
+    "EXT_TRACE_SCHEMA",
+    "ExtTrace",
+    "ExternalTraceSource",
+    "REAL_PREFIX",
+    "import_bril",
+    "load_external_trace",
+    "normalize",
+    "quarantine_ingest",
+    "read_ext_trace",
+    "record_command",
+    "site_pc",
+    "source_digest",
+    "target_address",
+    "trace_ingest_info",
+    "write_ext_trace",
+]

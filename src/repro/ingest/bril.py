@@ -1,0 +1,129 @@
+"""Importer for Bril-style linear traces.
+
+Bril (the educational compiler IR) interpreters with ``--trace-out``
+emit the *executed* instruction stream as a JSON program: a single
+linearised function (conventionally ``__trace_main``) whose body is the
+sequence of instructions the run actually executed, labels marking the
+basic-block boundaries the trace flowed through.  Every executed
+``call`` instruction in that stream is a resolved dynamic dispatch:
+the call site is the (function, preceding label, position) where the
+call appears, and the target is the function it named at runtime.
+
+This importer accepts either shape:
+
+* a full Bril program (``{"functions": [...]}``) — the linear trace
+  function is preferred by name (``__trace_main``), falling back to
+  ``main``, then the first function;
+* a bare instruction list (``[{"op": ...}, ...]``) — just the stream.
+
+and converts the call stream into ``repro-ext-trace/1`` with the same
+dense first-appearance ID numbering the CPython recorder uses, so both
+producers exercise identical schema/normalizer paths.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import IngestError
+from .schema import write_ext_trace
+
+PathLike = Union[str, Path]
+
+#: Linear-trace function names, in preference order.
+_TRACE_FUNCTIONS = ("__trace_main", "main")
+
+
+def _pick_function(program: dict, path: PathLike) -> dict:
+    functions = program.get("functions")
+    if not isinstance(functions, list) or not functions:
+        raise IngestError(
+            f"{path}: Bril program has no 'functions' list"
+        )
+    by_name = {function.get("name"): function for function in functions
+               if isinstance(function, dict)}
+    for name in _TRACE_FUNCTIONS:
+        if name in by_name:
+            return by_name[name]
+    return functions[0]
+
+
+def import_bril(
+    source: PathLike,
+    out: PathLike,
+    name: Optional[str] = None,
+) -> Path:
+    """Convert a Bril linear trace at ``source`` into an ext-trace at ``out``.
+
+    Raises :class:`~repro.errors.IngestError` on unparseable input or a
+    stream with no executed ``call`` instructions (nothing to predict).
+    """
+    source = Path(source)
+    try:
+        text = source.read_text(encoding="utf-8")
+    except UnicodeDecodeError as exc:
+        raise IngestError(f"{source}: not a text file: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except ValueError as exc:
+        raise IngestError(f"{source}: unparseable JSON: {exc}") from exc
+
+    if isinstance(document, dict):
+        function = _pick_function(document, source)
+        function_name = function.get("name", "main")
+        instructions = function.get("instrs", [])
+    elif isinstance(document, list):
+        function_name = "main"
+        instructions = document
+    else:
+        raise IngestError(
+            f"{source}: expected a Bril program object or instruction list"
+        )
+    if not isinstance(instructions, list):
+        raise IngestError(f"{source}: 'instrs' must be a list")
+
+    site_ids: Dict[str, int] = {}
+    target_ids: Dict[str, int] = {}
+    events: List[Tuple[int, int]] = []
+    last_label = "entry"
+    for index, instruction in enumerate(instructions):
+        if not isinstance(instruction, dict):
+            raise IngestError(
+                f"{source}: instruction {index} is not an object"
+            )
+        if "label" in instruction:
+            last_label = str(instruction["label"])
+            continue
+        if instruction.get("op") != "call":
+            continue
+        callees = instruction.get("funcs") or []
+        if not callees:
+            raise IngestError(
+                f"{source}: call instruction {index} names no function"
+            )
+        site_label = f"{function_name}:{last_label}:{index}"
+        target_label = str(callees[0])
+        site = site_ids.setdefault(site_label, len(site_ids))
+        target = target_ids.setdefault(target_label, len(target_ids))
+        events.append((site, target))
+    if not events:
+        raise IngestError(
+            f"{source}: trace contains no executed 'call' instructions"
+        )
+
+    sites = [{"id": identifier, "label": label, "kind": "bril-call"}
+             for label, identifier in site_ids.items()]
+    targets = [{"id": identifier, "label": label}
+               for label, identifier in target_ids.items()]
+    return write_ext_trace(
+        out,
+        name=name or source.stem,
+        producer="repro-bril-import",
+        producer_version="1",
+        sites=sites,
+        targets=targets,
+        events=events,
+        meta={"source": source.name, "function": function_name},
+    )

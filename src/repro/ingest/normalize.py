@@ -1,0 +1,178 @@
+"""Normalizing external traces into trace format v2.
+
+The simulators consume :class:`~repro.workloads.trace.Trace` — parallel
+32-bit PC/target columns.  External traces carry symbolic site/target
+ids instead of addresses, so the normalizer lays them out in a synthetic
+address space:
+
+* site id ``i``  -> PC     ``SITE_PC_BASE  + 4 * i``
+* target id ``j`` -> target ``TARGET_BASE + 4 * j``
+
+Both mappings are pure functions of the id, and ids are dense
+first-appearance numbers fixed by the producer, so the same source file
+always normalizes to byte-identical trace-v2 columns — which is what
+lets ingested traces ride the existing :class:`~repro.runtime.cache.
+TraceCache` (checksums, atomic writes, quarantine) and the serial/
+parallel bit-identity contract unchanged.
+
+Provenance (producer, event/site/target counts, and the source file's
+SHA-256) travels in ``TraceMetadata.extra["ingest"]``; the digest is
+what keys cache freshness — :func:`load_external_trace` treats a cached
+trace whose recorded digest no longer matches the source file as a
+miss and re-normalizes, so editing the source can never serve stale
+events.
+
+Ingested benchmarks are named ``real-<name>`` to keep them disjoint
+from the synthetic suite; the dynamic ``AVG-real`` group averages over
+exactly the registered external benchmarks.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import IngestError
+from ..workloads.trace import Trace, TraceMetadata
+from .schema import (
+    EXT_TRACE_SCHEMA,
+    ExtTrace,
+    quarantine_ingest,
+    read_ext_trace,
+    source_digest,
+)
+
+PathLike = Union[str, Path]
+
+#: Synthetic address-space layout for normalized external traces.  The
+#: bases keep ingested PCs and targets in recognisable, disjoint ranges
+#: well away from the synthetic suite's text segments.
+SITE_PC_BASE = 0x4000_0000
+TARGET_BASE = 0x8000_0000
+
+#: Benchmark-name prefix for ingested traces (``real-<name>``).
+REAL_PREFIX = "real-"
+
+
+def site_pc(site_id: int) -> int:
+    """The normalized (word-aligned) PC of external site ``site_id``."""
+    return SITE_PC_BASE + 4 * site_id
+
+def target_address(target_id: int) -> int:
+    """The normalized address of external target ``target_id``."""
+    return TARGET_BASE + 4 * target_id
+
+
+@dataclass(frozen=True)
+class ExternalTraceSource:
+    """A registered external trace file: path, digest, benchmark name.
+
+    Construction (via :meth:`open`) validates the file strictly and
+    hashes it; the heavyweight parse products are *not* kept — the
+    normalizer re-reads on a cache miss, which keeps a registered
+    source cheap to carry around in runners and worker arguments.
+    """
+
+    path: Path
+    digest: str
+    name: str  #: the ``real-<...>`` benchmark name
+
+    @classmethod
+    def open(cls, path: PathLike) -> "ExternalTraceSource":
+        """Validate + fingerprint an external trace file.
+
+        A malformed file raises :class:`~repro.errors.IngestError` with
+        record/byte-offset context *and* leaves a
+        ``<source>.quarantine.json`` sidecar carrying the same
+        diagnosis, mirroring the trace cache's ``.corrupt`` quarantine.
+        """
+        path = Path(path)
+        try:
+            parsed = read_ext_trace(path)
+        except IngestError as exc:
+            quarantine_ingest(path, exc)
+            raise
+        return cls(
+            path=path,
+            digest=source_digest(path),
+            name=REAL_PREFIX + parsed.name,
+        )
+
+
+def normalize(parsed: ExtTrace, digest: str,
+              source_path: Optional[PathLike] = None) -> Trace:
+    """Map a parsed external trace into trace-format-v2 columns."""
+    pcs = array("L")
+    targets = array("L")
+    for site_id, target_id in parsed.events:
+        pcs.append(site_pc(site_id))
+        targets.append(target_address(target_id))
+    site_counts: dict = {}
+    for site_id, _ in parsed.events:
+        site_counts[site_id] = site_counts.get(site_id, 0) + 1
+    hot = sorted(site_counts,
+                 key=lambda site_id: (-site_counts[site_id], site_id))[:5]
+    metadata = TraceMetadata(
+        name=REAL_PREFIX + parsed.name,
+        description=f"ingested from {parsed.producer} "
+                    f"({len(parsed.events)} events)",
+        extra={
+            "ingest": {
+                "schema": EXT_TRACE_SCHEMA,
+                "producer": parsed.producer,
+                "producer_version": parsed.producer_version,
+                "source": Path(source_path).name if source_path else None,
+                "source_sha256": digest,
+                "events": len(parsed.events),
+                "sites": len(parsed.sites),
+                "targets": len(parsed.targets),
+                "hot_sites": [
+                    {"label": parsed.site_label(site_id),
+                     "pc": site_pc(site_id),
+                     "executions": site_counts[site_id]}
+                    for site_id in hot
+                ],
+                "meta": parsed.meta,
+            }
+        },
+    )
+    return Trace(pcs, targets, metadata)
+
+
+def trace_ingest_info(trace: Trace) -> Optional[dict]:
+    """The ingest-provenance block of a normalized trace, if any."""
+    info = trace.metadata.extra.get("ingest")
+    return info if isinstance(info, dict) else None
+
+
+def load_external_trace(source: ExternalTraceSource,
+                        cache: Optional[object] = None,
+                        scale: Optional[float] = None):
+    """Resolve a registered source into a trace, through the cache.
+
+    Returns ``(trace, origin)`` with ``origin`` one of the standard
+    trace-source labels (``"cache"`` / ``"generated"``).  The cache
+    entry lives under the same key the parallel workers use
+    (:meth:`TraceCache.key`), but freshness is keyed on the *source
+    digest* recorded in the trace metadata: a cached trace normalized
+    from different source bytes counts as a miss and is re-normalized
+    and re-stored, so a mutated source file never serves stale events.
+    """
+    if cache is not None:
+        key = cache.key(source.name, scale)
+        cached = cache.load(key)
+        if cached is not None:
+            info = trace_ingest_info(cached)
+            if info is not None and info.get("source_sha256") == source.digest:
+                return cached, "cache"
+    try:
+        parsed = read_ext_trace(source.path)
+    except IngestError as exc:
+        quarantine_ingest(source.path, exc)
+        raise
+    trace = normalize(parsed, source.digest, source_path=source.path)
+    if cache is not None:
+        cache.store(cache.key(source.name, scale), trace)
+    return trace, "generated"

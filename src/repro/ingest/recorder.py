@@ -1,0 +1,362 @@
+"""CPython dynamic-dispatch recorder.
+
+Records *real* indirect-branch behavior from a live Python run: every
+Python-level call is a dynamic dispatch (the callable bound at the call
+site varies at runtime, exactly like a virtual call through a vtable),
+so the (call site, callee) stream is the interpreter's analogue of the
+paper's indirect-branch traces.
+
+Two engines produce identical record shapes:
+
+``monitoring`` (CPython >= 3.12)
+    ``sys.monitoring`` CALL events — the PEP 669 low-overhead hooks.
+    The site is the instruction offset of the ``CALL`` opcode inside
+    the calling code object; the target is the resolved callable.
+
+``profile`` (any CPython)
+    ``sys.setprofile`` ``'call'`` events.  The caller frame's
+    ``f_lasti`` points at (or just past) the call opcode; it is snapped
+    to the nearest preceding ``CALL*`` instruction via a cached
+    ``dis.get_instructions`` offset table, so both engines label the
+    same syntactic call site identically.
+
+Site labels are ``<file basename>:<qualname>:<opcode offset>`` and
+target labels ``<module tail>.<qualname>`` — stable across runs of the
+same code (no memory addresses, no absolute paths), which is what makes
+ids reproducible (DESIGN.md §3.11).  Ids are assigned densely in first-
+appearance order.
+
+Self-tracing a *subprocess* (``repro ingest python -- CMD...``) injects
+a ``sitecustomize`` module via a temporary ``PYTHONPATH`` entry; the
+child starts a :class:`DispatchRecorder` at interpreter startup and
+writes the ``repro-ext-trace/1`` file from an ``atexit`` hook, so any
+Python command — including the repo's own test suite — can be traced
+without modification.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dis
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import IngestError
+from .schema import write_ext_trace
+
+PathLike = Union[str, Path]
+
+#: Default event budget: enough signal for a sweep, bounded memory.
+DEFAULT_MAX_EVENTS = 200_000
+
+_ENGINES = ("auto", "monitoring", "profile")
+
+
+def _monitoring_available() -> bool:
+    return hasattr(sys, "monitoring")
+
+
+def resolve_engine(engine: str = "auto") -> str:
+    """Pick the concrete engine, validating the request."""
+    if engine not in _ENGINES:
+        raise IngestError(
+            f"unknown recorder engine {engine!r}; known: {', '.join(_ENGINES)}"
+        )
+    if engine == "auto":
+        return "monitoring" if _monitoring_available() else "profile"
+    if engine == "monitoring" and not _monitoring_available():
+        raise IngestError(
+            f"engine 'monitoring' needs sys.monitoring (CPython >= 3.12); "
+            f"this is {sys.version.split()[0]} — use 'profile' or 'auto'"
+        )
+    return engine
+
+
+def _code_label(code) -> str:
+    qualname = getattr(code, "co_qualname", code.co_name)
+    return f"{os.path.basename(code.co_filename)}:{qualname}"
+
+
+def _call_offsets(code) -> List[int]:
+    """Sorted instruction offsets of the CALL-family opcodes in a code object."""
+    return sorted(
+        instruction.offset
+        for instruction in dis.get_instructions(code)
+        if "CALL" in instruction.opname
+    )
+
+
+def _target_label(callable_object) -> Optional[str]:
+    """A stable label for a callee, or ``None`` to skip it."""
+    if callable_object is None:
+        return None
+    code = getattr(callable_object, "__code__", None)
+    if code is not None:
+        return _code_label(code)
+    name = getattr(callable_object, "__qualname__",
+                   getattr(callable_object, "__name__", None))
+    if not name:
+        return None
+    module = getattr(callable_object, "__module__", None) or "builtins"
+    return f"{module}.{name}"
+
+
+class DispatchRecorder:
+    """Records (call site, callee) dispatch events from a live run.
+
+    Usable as a context manager for in-process tracing::
+
+        recorder = DispatchRecorder("selftrace")
+        with recorder.recording():
+            workload()
+        recorder.write(path)
+
+    Not re-entrant; one recorder owns the process-wide hook while
+    recording.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        engine: str = "auto",
+        max_events: int = DEFAULT_MAX_EVENTS,
+        include_builtins: bool = False,
+    ) -> None:
+        self.name = name
+        self.engine = resolve_engine(engine)
+        self.max_events = max_events
+        self.include_builtins = include_builtins
+        self._site_ids: Dict[str, int] = {}
+        self._target_ids: Dict[str, int] = {}
+        self.events: List[Tuple[int, int]] = []
+        self._offset_cache: Dict[object, List[int]] = {}
+        self._active = False
+        self._in_callback = False
+
+    # -- id tables ---------------------------------------------------------
+
+    def _intern(self, table: Dict[str, int], label: str) -> int:
+        found = table.get(label)
+        if found is None:
+            found = len(table)
+            table[label] = found
+        return found
+
+    def _record(self, site_label: str, target_label: str) -> None:
+        if len(self.events) >= self.max_events:
+            self.stop()
+            return
+        self.events.append((
+            self._intern(self._site_ids, site_label),
+            self._intern(self._target_ids, target_label),
+        ))
+
+    # -- monitoring engine (py3.12+) ---------------------------------------
+
+    def _monitoring_callback(self, code, instruction_offset,
+                             callable_object, arg0):
+        if self._in_callback:
+            return
+        self._in_callback = True
+        try:
+            target = _target_label(callable_object)
+            if target is None:
+                return
+            if not self.include_builtins \
+                    and getattr(callable_object, "__code__", None) is None:
+                return
+            site = f"{_code_label(code)}:{instruction_offset}"
+            self._record(site, target)
+        finally:
+            self._in_callback = False
+
+    def _start_monitoring(self) -> None:
+        monitoring = sys.monitoring
+        tool = monitoring.PROFILER_ID
+        monitoring.use_tool_id(tool, "repro-ingest")
+        monitoring.register_callback(
+            tool, monitoring.events.CALL, self._monitoring_callback)
+        monitoring.set_events(tool, monitoring.events.CALL)
+        self._tool_id = tool
+
+    def _stop_monitoring(self) -> None:
+        monitoring = sys.monitoring
+        tool = self._tool_id
+        monitoring.set_events(tool, 0)
+        monitoring.register_callback(tool, monitoring.events.CALL, None)
+        monitoring.free_tool_id(tool)
+
+    # -- profile engine (any CPython) --------------------------------------
+
+    def _snap_call_offset(self, code, last_instruction: int) -> int:
+        offsets = self._offset_cache.get(code)
+        if offsets is None:
+            offsets = _call_offsets(code)
+            self._offset_cache[code] = offsets
+        if not offsets:
+            return max(last_instruction, 0)
+        index = bisect.bisect_right(offsets, max(last_instruction, 0)) - 1
+        return offsets[max(index, 0)]
+
+    def _profile_callback(self, frame, event, arg):
+        if event != "call" or self._in_callback:
+            return
+        self._in_callback = True
+        try:
+            caller = frame.f_back
+            if caller is None:
+                return
+            offset = self._snap_call_offset(caller.f_code, caller.f_lasti)
+            site = f"{_code_label(caller.f_code)}:{offset}"
+            self._record(site, _code_label(frame.f_code))
+        finally:
+            self._in_callback = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._active:
+            raise IngestError("recorder already active")
+        self._active = True
+        if self.engine == "monitoring":
+            self._start_monitoring()
+        else:
+            sys.setprofile(self._profile_callback)
+
+    def stop(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        if self.engine == "monitoring":
+            self._stop_monitoring()
+        else:
+            sys.setprofile(None)
+
+    def recording(self):
+        """Context manager: record for the duration of the block."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def _recording():
+            self.start()
+            try:
+                yield self
+            finally:
+                self.stop()
+
+        return _recording()
+
+    # -- output ------------------------------------------------------------
+
+    @property
+    def producer(self) -> str:
+        return f"repro-python-{self.engine}"
+
+    def tables(self) -> Tuple[List[dict], List[dict]]:
+        sites = [{"id": index, "label": label, "kind": "pycall"}
+                 for label, index in self._site_ids.items()]
+        targets = [{"id": index, "label": label}
+                   for label, index in self._target_ids.items()]
+        return sites, targets
+
+    def write(self, path: PathLike,
+              meta: Optional[Dict[str, object]] = None) -> Path:
+        """Write the recorded stream as a ``repro-ext-trace/1`` file."""
+        sites, targets = self.tables()
+        base_meta: Dict[str, object] = {
+            "python": sys.version.split()[0],
+            "engine": self.engine,
+            "truncated": len(self.events) >= self.max_events,
+        }
+        base_meta.update(meta or {})
+        return write_ext_trace(
+            path,
+            name=self.name,
+            producer=self.producer,
+            producer_version="1",
+            sites=sites,
+            targets=targets,
+            events=self.events,
+            meta=base_meta,
+        )
+
+
+# -- subprocess self-tracing --------------------------------------------------
+
+_BOOTSTRAP = """\
+# Injected by `repro ingest python`: start recording at interpreter
+# startup, write the ext-trace at exit.  Removed with its temp dir.
+import atexit
+import os
+
+def _repro_ingest_start():
+    out = os.environ.get("REPRO_INGEST_OUT")
+    if not out:
+        return
+    import sys
+    sys.path.insert(0, os.environ["REPRO_INGEST_SRC"])
+    from repro.ingest.recorder import DispatchRecorder
+
+    recorder = DispatchRecorder(
+        os.environ.get("REPRO_INGEST_NAME", "ingest"),
+        engine=os.environ.get("REPRO_INGEST_ENGINE", "auto"),
+        max_events=int(os.environ.get("REPRO_INGEST_MAX_EVENTS", "200000")),
+    )
+
+    def _finish():
+        recorder.stop()
+        recorder.write(out, meta={"argv": sys.argv})
+
+    atexit.register(_finish)
+    recorder.start()
+
+_repro_ingest_start()
+"""
+
+
+def record_command(
+    command: List[str],
+    out: PathLike,
+    name: str = "ingest",
+    engine: str = "auto",
+    max_events: int = DEFAULT_MAX_EVENTS,
+) -> int:
+    """Run ``command`` with dispatch recording on; write the trace to ``out``.
+
+    The child must be a Python process (it imports this package through
+    the injected ``sitecustomize``); the parent only sets up the
+    environment and waits.  Returns the child's exit code — the trace is
+    written by the child's ``atexit`` hook even when the command itself
+    fails (a red test run still yields a usable trace).
+    """
+    if not command:
+        raise IngestError("ingest python needs a command after '--'")
+    resolve_engine(engine)  # fail fast on a bad/unavailable engine
+    out = Path(out).resolve()
+    out.parent.mkdir(parents=True, exist_ok=True)
+    package_root = str(Path(__file__).resolve().parents[2])
+    with tempfile.TemporaryDirectory(prefix="repro-ingest-") as bootstrap_dir:
+        (Path(bootstrap_dir) / "sitecustomize.py").write_text(_BOOTSTRAP)
+        environment = dict(os.environ)
+        existing = environment.get("PYTHONPATH")
+        environment["PYTHONPATH"] = os.pathsep.join(
+            [bootstrap_dir] + ([existing] if existing else [])
+        )
+        environment.update({
+            "REPRO_INGEST_OUT": str(out),
+            "REPRO_INGEST_NAME": name,
+            "REPRO_INGEST_ENGINE": engine,
+            "REPRO_INGEST_MAX_EVENTS": str(max_events),
+            "REPRO_INGEST_SRC": package_root,
+        })
+        completed = subprocess.run(command, env=environment)
+    if not out.exists():
+        raise IngestError(
+            f"{out}: command wrote no trace (is {command[0]!r} a Python "
+            f"process? sitecustomize injection only reaches Python children)"
+        )
+    return completed.returncode

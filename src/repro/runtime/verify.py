@@ -54,6 +54,9 @@ ARTIFACT_SCHEMAS: Dict[str, str] = {
     "trace_log": "repro-trace-log/1",
     "attribution": "repro-attribution/1",
     "chaos_plan": "repro-chaos-plan/1",
+    # ingested external-trace inputs (repro ingest; DESIGN.md §3.11),
+    # manifested as ext_trace.<n> — one per --ingest file.
+    "ext_trace": "repro-ext-trace/1",
     # -- prediction-service artifacts (repro serve; DESIGN.md §3.10) -----
     "service_journal": "repro-service-journal/1",
     "service_sheds": "repro-service-sheds/1",
@@ -265,6 +268,15 @@ def _check_artifact_schema(kind: str, path: Path,
     """Re-validate one artifact against its own format; returns parsed data."""
     base = base_kind(kind)
     try:
+        if base == "ext_trace":
+            from ..ingest import read_ext_trace
+
+            parsed = read_ext_trace(path)
+            report.add(f"format:{kind}", True,
+                       f"{parsed.name!r} from {parsed.producer}: "
+                       f"{len(parsed)} event(s), {len(parsed.sites)} "
+                       f"site(s), {len(parsed.targets)} target(s)")
+            return parsed
         if base == "service_journal":
             from ..service.state import read_service_journal
 
@@ -441,6 +453,7 @@ def verify_run(
 def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
     """Artifact-vs-artifact consistency checks."""
     _cross_check_service(parsed, report)
+    _cross_check_ingest(parsed, report)
     journal = parsed.get("journal")
     metrics = parsed.get("metrics")
     if journal is not None and metrics is not None:
@@ -498,6 +511,43 @@ def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
             report.add("attribution", True,
                        f"{count} record(s) match the journal; per-cause "
                        f"sums equal fast-path totals")
+
+
+def _cross_check_ingest(parsed: Dict[str, object],
+                        report: VerifyReport) -> None:
+    """Manifested external traces vs the journalled real-* results.
+
+    Every journalled simulation of an ingested benchmark must report
+    exactly as many events as the manifested source file holds — a
+    stale cache entry (mutated source, old normalization) or a
+    truncated ingest would show up here as a count mismatch.
+    """
+    journal = parsed.get("journal")
+    ext_traces = [data for kind, data in sorted(parsed.items())
+                  if base_kind(kind) == "ext_trace"]
+    if not journal or not ext_traces:
+        return
+    from ..ingest import REAL_PREFIX
+
+    mismatches = []
+    checked = 0
+    for ext in ext_traces:
+        benchmark = REAL_PREFIX + ext.name
+        for (config, journalled_benchmark), record in journal.items():
+            if journalled_benchmark != benchmark:
+                continue
+            checked += 1
+            events = record["result"]["events"]
+            if events != len(ext):
+                mismatches.append(
+                    f"{config}/{benchmark}: journalled {events} event(s), "
+                    f"source holds {len(ext)}")
+    if mismatches:
+        report.add("ingest", False, "; ".join(mismatches[:3]))
+    elif checked:
+        report.add("ingest", True,
+                   f"{checked} journalled real-* result(s) match their "
+                   f"manifested source event counts")
 
 
 def _cross_check_service(parsed: Dict[str, object],

@@ -25,6 +25,7 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..workloads.program import WorkloadConfig, generate_trace
+from ..workloads.trace import Trace, TraceMetadata
 from .client import ServiceClient
 from .server import latency_summary
 
@@ -36,11 +37,40 @@ def tenant_name(index: int) -> str:
     return f"t{index:02d}"
 
 
-def tenant_stream(index: int, events: int, seed: int = 1):
-    """The deterministic event stream of one synthetic tenant."""
-    config = WorkloadConfig(name=tenant_name(index), events=events,
-                            seed=1000 * seed + index)
-    return generate_trace(config)
+def tenant_stream(index: int, events: int, seed: int = 1,
+                  ingest: Optional[str] = None):
+    """The deterministic event stream of one tenant.
+
+    Synthetic by default (seeded per tenant).  With ``ingest`` — a
+    ``repro-ext-trace/1`` file — every tenant replays a slice of the
+    *real* normalized event stream instead: tenant ``i`` starts at a
+    deterministic stagger offset and wraps around, so tenants exercise
+    different phases of the same program run while the whole setup stays
+    bit-reproducible (the replay oracle and ``repro verify --against``
+    need no changes).
+    """
+    if ingest is None:
+        config = WorkloadConfig(name=tenant_name(index), events=events,
+                                seed=1000 * seed + index)
+        return generate_trace(config)
+    trace = ingest if isinstance(ingest, Trace) else load_ingest_stream(ingest)
+    start = (index * 9973 + seed * 131) % len(trace)
+    pcs, targets = [], []
+    for position in range(events):
+        cursor = (start + position) % len(trace)
+        pcs.append(trace.pcs[cursor])
+        targets.append(trace.targets[cursor])
+    return Trace(pcs, targets, TraceMetadata(name=tenant_name(index)))
+
+
+def load_ingest_stream(path: str) -> Trace:
+    """Normalize a ``repro-ext-trace/1`` file into a replayable stream."""
+    from ..ingest import ExternalTraceSource, load_external_trace
+
+    trace, _ = load_external_trace(ExternalTraceSource.open(path))
+    if len(trace) == 0:
+        raise ValueError(f"{path}: ingested trace has no events")
+    return trace
 
 
 class _Totals:
@@ -70,9 +100,11 @@ def _drive_tenant(
     batch_events: int,
     seed: int,
     throttle: float,
+    ingest: Optional[Trace] = None,
 ) -> None:
     tenant = tenant_name(index)
-    trace = tenant_stream(index, batches * batch_events, seed=seed)
+    trace = tenant_stream(index, batches * batch_events, seed=seed,
+                          ingest=ingest)
     priority = index % 3
     expected_events = 0
     last_counters: Optional[dict] = None
@@ -144,12 +176,17 @@ def run_loadgen(
     throttle: float = 0.02,
     shutdown: bool = False,
     out: Optional[str] = None,
+    ingest: Optional[str] = None,
 ) -> dict:
     """Drive a server with deterministic tenant streams; return the summary.
 
     With ``shutdown=True`` the server is asked to drain and finalise its
-    artifacts after the run (what the soak and CI harnesses use).
+    artifacts after the run (what the soak and CI harnesses use).  With
+    ``ingest`` — a ``repro-ext-trace/1`` path — tenants replay staggered
+    slices of the ingested real event stream instead of the synthetic
+    models; the exactly-once/replay-oracle contract is unchanged.
     """
+    ingest_stream = load_ingest_stream(ingest) if ingest else None
     totals = _Totals()
     concurrency = max(1, min(concurrency, tenants))
     started = time.perf_counter()
@@ -168,7 +205,7 @@ def run_loadgen(
         with client:
             for index in range(worker_index, tenants, concurrency):
                 _drive_tenant(client, totals, index, batches, batch_events,
-                              seed, throttle)
+                              seed, throttle, ingest=ingest_stream)
 
     threads = [threading.Thread(target=worker, args=(i,),
                                 name=f"loadgen-{i}")
@@ -217,6 +254,14 @@ def run_loadgen(
         "inconsistencies": totals.inconsistencies,
         "server_stats": server_stats,
     }
+    if ingest_stream is not None:
+        from ..ingest import trace_ingest_info
+
+        summary["ingest"] = {
+            "file": str(ingest),
+            "stream_events": len(ingest_stream),
+            "provenance": trace_ingest_info(ingest_stream),
+        }
     if out:
         target = Path(out)
         target.parent.mkdir(parents=True, exist_ok=True)

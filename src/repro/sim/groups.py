@@ -13,6 +13,21 @@ from typing import Dict, Iterable, Mapping
 from ..errors import SimulationError
 from ..workloads.suite import GROUPS
 
+#: Dynamic group averaging over ingested (``real-*``) benchmarks.  Not in
+#: the static :data:`~repro.workloads.suite.GROUPS` table because its
+#: membership is whatever external traces the run registered.
+REAL_GROUP = "AVG-real"
+
+
+def groups_with_real(external_names: Iterable[str]) -> Dict[str, list]:
+    """The paper's groups plus ``AVG-real`` over the given externals."""
+    groups: Dict[str, list] = {name: list(members)
+                               for name, members in GROUPS.items()}
+    members = list(external_names)
+    if members:
+        groups[REAL_GROUP] = members
+    return groups
+
 
 def group_average(rates: Mapping[str, float], members: Iterable[str]) -> float:
     """Arithmetic mean of per-benchmark rates over the given members."""

@@ -38,7 +38,7 @@ from ..workloads.program import generate_trace
 from ..workloads.suite import AVG_BENCHMARKS, benchmark_names, workload_config
 from ..workloads.trace import Trace
 from .engine import SimulationResult, simulate
-from .groups import with_group_averages
+from .groups import groups_with_real, with_group_averages
 
 
 class SuiteRunner:
@@ -99,6 +99,11 @@ class SuiteRunner:
         self.workers = workers
         self.progress = progress
         self._traces: Dict[str, Trace] = {}
+        #: registered external (ingested) trace sources, by benchmark name.
+        #: Kept out of ``self.benchmarks`` — experiments and sweeps that
+        #: enumerate the synthetic suite stay untouched; batch lookups
+        #: with default benchmarks include externals explicitly.
+        self._external: Dict[str, object] = {}
         self._results: Dict[Tuple[PredictorConfig, str], SimulationResult] = {}
         self._simulate = simulate_fn if simulate_fn is not None else simulate
         self._generate = generate_fn if generate_fn is not None else generate_trace
@@ -142,11 +147,43 @@ class SuiteRunner:
         """
         return self._trace_with_source(name)[0]
 
+    def register_external(self, source: object) -> str:
+        """Register an ingested trace source; returns its benchmark name.
+
+        ``source`` is a :class:`~repro.ingest.normalize.
+        ExternalTraceSource` (path + digest + ``real-<name>``).
+        Registered externals resolve through :meth:`trace` like any
+        benchmark — normalized through the trace cache, keyed fresh on
+        the source digest — and batch lookups with default benchmarks
+        include them, so they flow through sweeps, attribution, and
+        manifests automatically.  Re-registering a name replaces the
+        source (and drops any stale memoised trace).
+        """
+        name = source.name
+        previous = self._external.get(name)
+        if previous is not None and previous.digest != source.digest:
+            self._traces.pop(name, None)
+        self._external[name] = source
+        return name
+
+    def external_names(self) -> Tuple[str, ...]:
+        """Registered external benchmark names, in registration order."""
+        return tuple(self._external)
+
     def _trace_with_source(self, name: str) -> Tuple[Trace, str]:
         """The trace plus where it came from: memo / cache / generated."""
         cached = self._traces.get(name)
         if cached is not None:
             return cached, "memo"
+        external = self._external.get(name)
+        if external is not None:
+            from ..ingest.normalize import load_external_trace
+
+            with self.tracer.span("trace_ingest", benchmark=name):
+                cached, origin = load_external_trace(
+                    external, self.trace_cache, self.scale)
+            self._traces[name] = cached
+            return cached, origin
         if self.trace_cache is not None:
             with self.tracer.span("trace_load", benchmark=name):
                 cached = self.trace_cache.load(
@@ -291,6 +328,12 @@ class SuiteRunner:
         # (memo -> disk -> generate) path; workers then only load.
         for benchmark in {benchmark for _, benchmark in todo}:
             self.trace(benchmark)
+            if benchmark in self._external:
+                # Workers cannot re-normalize an external source (they
+                # resolve misses through workload_config, which only
+                # knows the synthetic suite), so the shared cache must
+                # hold a digest-fresh copy before dispatch.
+                self._ensure_external_cached(cache, benchmark)
         units = [
             WorkUnit(unit_id, config, benchmark)
             for unit_id, (config, benchmark) in enumerate(todo)
@@ -321,6 +364,24 @@ class SuiteRunner:
                 on_attribution if self.attribution is not None else None
             ),
         )
+
+    def _ensure_external_cached(self, cache, benchmark: str) -> None:
+        """Make the shared on-disk cache hold a fresh copy of an external.
+
+        The memoised trace may predate the cache (or the on-disk copy
+        may have been normalized from different source bytes); either
+        way the digest recorded in the cached metadata decides.
+        """
+        from ..ingest.normalize import trace_ingest_info
+
+        key = cache.key(benchmark, self.scale)
+        on_disk = cache.load(key)
+        digest = self._external[benchmark].digest
+        if on_disk is not None:
+            info = trace_ingest_info(on_disk) or {}
+            if info.get("source_sha256") == digest:
+                return
+        cache.store(key, self._traces[benchmark])
 
     def write_attribution(self, path: object) -> bool:
         """Write the collected ``repro-attribution/1`` artifact to ``path``.
@@ -385,8 +446,15 @@ class SuiteRunner:
         config: PredictorConfig,
         benchmarks: Optional[Iterable[str]] = None,
     ) -> Dict[str, float]:
-        """Per-benchmark misprediction percentages for one config."""
-        names = tuple(benchmarks) if benchmarks is not None else self.benchmarks
+        """Per-benchmark misprediction percentages for one config.
+
+        Defaults to the runner's synthetic suite plus every registered
+        external (ingested) benchmark.
+        """
+        if benchmarks is not None:
+            names = tuple(benchmarks)
+        else:
+            names = self.benchmarks + self.external_names()
         if self.workers > 1:
             self.compute_many((config, name) for name in names)
         return {name: self.result(config, name).misprediction_rate for name in names}
@@ -396,8 +464,15 @@ class SuiteRunner:
         config: PredictorConfig,
         benchmarks: Optional[Iterable[str]] = None,
     ) -> Dict[str, float]:
-        """Per-benchmark rates plus all computable group averages."""
-        return with_group_averages(self.rates(config, benchmarks))
+        """Per-benchmark rates plus all computable group averages.
+
+        With external traces registered, the dynamic ``AVG-real`` group
+        (their arithmetic mean) joins the paper's groups.
+        """
+        return with_group_averages(
+            self.rates(config, benchmarks),
+            groups=groups_with_real(self._external),
+        )
 
     def average(
         self,

@@ -1,0 +1,585 @@
+"""Tests for the external-trace ingestion subsystem (``repro.ingest``)."""
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.__main__ import main
+from repro.core.config import BTBConfig
+from repro.errors import IngestError, ReproError
+from repro.ingest import (
+    DEFAULT_MAX_EVENTS,
+    DispatchRecorder,
+    EXT_TRACE_SCHEMA,
+    ExternalTraceSource,
+    REAL_PREFIX,
+    import_bril,
+    load_external_trace,
+    normalize,
+    quarantine_ingest,
+    read_ext_trace,
+    record_command,
+    site_pc,
+    source_digest,
+    target_address,
+    trace_ingest_info,
+    write_ext_trace,
+)
+from repro.ingest.recorder import resolve_engine
+from repro.runtime.cache import TraceCache
+
+SITES = [{"id": 0, "label": "a.py:f:10"}, {"id": 1, "label": "a.py:g:24"}]
+TARGETS = [{"id": 0, "label": "a.py:f"}, {"id": 1, "label": "b.py:h"},
+           {"id": 2, "label": "builtins.len"}]
+EVENTS = [(0, 1), (1, 0), (0, 2), (0, 1)]
+
+
+def write_sample(path, events=EVENTS, name="sample", meta=None):
+    return write_ext_trace(path, name=name, producer="unit-test",
+                           producer_version="9", sites=SITES,
+                           targets=TARGETS, events=events, meta=meta)
+
+
+class TestSchemaRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson", meta={"k": "v"})
+        parsed = read_ext_trace(path)
+        assert parsed.name == "sample"
+        assert parsed.producer == "unit-test"
+        assert parsed.producer_version == "9"
+        assert parsed.events == EVENTS
+        assert len(parsed) == len(EVENTS)
+        assert parsed.meta == {"k": "v"}
+        assert parsed.site_label(1) == "a.py:g:24"
+        assert parsed.target_label(2) == "builtins.len"
+
+    def test_write_is_byte_deterministic(self, tmp_path):
+        first = write_sample(tmp_path / "a.ndjson")
+        second = write_sample(tmp_path / "b.ndjson")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_path_context_accepted(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        lines = path.read_text().splitlines()
+        lines[1] = json.dumps({"s": 0, "t": 1, "p": [0, 1]})
+        path.write_text("\n".join(lines) + "\n")
+        assert read_ext_trace(path).events == EVENTS
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        write_sample(tmp_path / "t.ndjson")
+        assert [p.name for p in tmp_path.iterdir()] == ["t.ndjson"]
+
+
+def corrupt(path, line_index, text):
+    lines = path.read_text().splitlines()
+    lines[line_index] = text
+    path.write_text("\n".join(lines) + "\n")
+
+
+class TestSchemaStrictness:
+    """Every malformed-input class is rejected with record + byte offset."""
+
+    def expect_error(self, path, fragment):
+        with pytest.raises(IngestError) as excinfo:
+            read_ext_trace(path)
+        message = str(excinfo.value)
+        assert fragment in message
+        assert "byte offset" in message
+        # The same context travels structurally for quarantine sidecars.
+        assert isinstance(excinfo.value.record, int)
+        assert isinstance(excinfo.value.byte_offset, int)
+        return excinfo.value
+
+    def test_ingest_error_is_repro_and_value_error(self):
+        assert issubclass(IngestError, ReproError)
+        assert issubclass(IngestError, ValueError)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text("")
+        self.expect_error(path, "empty file")
+
+    def test_unparseable_json(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, "{not json")
+        error = self.expect_error(path, "unparseable record")
+        assert error.record == 1
+        # Record 1 starts right after the header line.
+        header_bytes = len(path.read_bytes().splitlines(keepends=True)[0])
+        assert error.byte_offset == header_bytes
+
+    def test_wrong_schema(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 0, json.dumps({"schema": "something-else/1"}))
+        self.expect_error(path, "expected 'repro-ext-trace/1'")
+
+    def test_header_missing_producer(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps({
+            "schema": EXT_TRACE_SCHEMA, "name": "x",
+            "producer_version": "1", "sites": SITES, "targets": TARGETS,
+        }) + "\n")
+        self.expect_error(path, "missing string field 'producer'")
+
+    def test_non_dense_site_ids(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps({
+            "schema": EXT_TRACE_SCHEMA, "name": "x", "producer": "p",
+            "producer_version": "1",
+            "sites": [{"id": 5, "label": "s"}], "targets": TARGETS,
+        }) + "\n")
+        self.expect_error(path, "ids must be dense")
+
+    def test_table_entry_without_label(self, tmp_path):
+        path = tmp_path / "t.ndjson"
+        path.write_text(json.dumps({
+            "schema": EXT_TRACE_SCHEMA, "name": "x", "producer": "p",
+            "producer_version": "1",
+            "sites": SITES, "targets": [{"id": 0}],
+        }) + "\n")
+        self.expect_error(path, "string 'label'")
+
+    def test_event_with_non_integer_fields(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 2, json.dumps({"s": "oops", "t": 1}))
+        error = self.expect_error(path, "integer fields 's' and 't'")
+        assert error.record == 2
+
+    def test_event_site_out_of_range(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, json.dumps({"s": 99, "t": 0}))
+        self.expect_error(path, "site id 99 outside table")
+
+    def test_event_target_out_of_range(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, json.dumps({"s": 0, "t": 99}))
+        self.expect_error(path, "target id 99 outside table")
+
+    def test_bad_path_context(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, json.dumps({"s": 0, "t": 0, "p": [99]}))
+        self.expect_error(path, "path context")
+
+    def test_missing_end_record(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        self.expect_error(path, "missing the closing 'end' record")
+
+    def test_end_count_mismatch(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, -1, json.dumps({"end": True, "events": 7}))
+        self.expect_error(path, "declares 7 event(s) but 4 were read")
+
+    def test_data_after_end_record(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        with open(path, "a") as stream:
+            stream.write(json.dumps({"s": 0, "t": 0}) + "\n")
+        self.expect_error(path, "data after the closing 'end' record")
+
+    def test_byte_offset_points_at_offending_record(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        raw_lines = path.read_bytes().splitlines(keepends=True)
+        corrupt(path, 3, json.dumps({"s": 0}))
+        error = self.expect_error(path, "integer fields")
+        assert error.byte_offset == sum(len(line) for line in raw_lines[:3])
+
+
+class TestQuarantine:
+    def test_sidecar_carries_offset_context(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, "{broken")
+        with pytest.raises(IngestError) as excinfo:
+            read_ext_trace(path)
+        sidecar = quarantine_ingest(path, excinfo.value)
+        data = json.loads(sidecar.read_text())
+        assert data["schema"] == "repro-ext-trace-quarantine/1"
+        assert data["record"] == excinfo.value.record
+        assert data["byte_offset"] == excinfo.value.byte_offset
+        assert "byte offset" in data["error"]
+
+    def test_source_open_quarantines_and_raises(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, "{broken")
+        with pytest.raises(IngestError):
+            ExternalTraceSource.open(path)
+        assert (tmp_path / "t.ndjson.quarantine.json").exists()
+
+
+def busy_dispatch():
+    class One:
+        def hit(self):
+            return 1
+
+    class Two:
+        def hit(self):
+            return 2
+
+    receivers = [One(), Two()] * 20
+    return sum(receiver.hit() for receiver in receivers)
+
+
+class TestRecorder:
+    def test_in_process_recording(self, tmp_path):
+        recorder = DispatchRecorder("unit")
+        with recorder.recording():
+            busy_dispatch()
+        assert recorder.events
+        path = recorder.write(tmp_path / "t.ndjson")
+        parsed = read_ext_trace(path)
+        assert parsed.name == "unit"
+        assert parsed.producer == recorder.producer
+        assert parsed.meta["engine"] == recorder.engine
+        assert parsed.meta["truncated"] is False
+        # The polymorphic `receiver.hit()` site reaches both targets.
+        labels = {parsed.target_label(t) for _, t in parsed.events}
+        assert any("One.hit" in label for label in labels)
+        assert any("Two.hit" in label for label in labels)
+
+    def test_recording_is_deterministic(self, tmp_path):
+        streams = []
+        for _ in range(2):
+            recorder = DispatchRecorder("unit")
+            with recorder.recording():
+                busy_dispatch()
+            streams.append((recorder.events, recorder.tables()))
+        assert streams[0] == streams[1]
+
+    def test_max_events_truncates(self, tmp_path):
+        recorder = DispatchRecorder("unit", max_events=5)
+        with recorder.recording():
+            busy_dispatch()
+        assert len(recorder.events) == 5
+        parsed = read_ext_trace(recorder.write(tmp_path / "t.ndjson"))
+        assert parsed.meta["truncated"] is True
+
+    def test_site_labels_are_relative_and_offset_stamped(self):
+        recorder = DispatchRecorder("unit")
+        with recorder.recording():
+            busy_dispatch()
+        sites, _ = recorder.tables()
+        for entry in sites:
+            filename, _, offset = entry["label"].split(":")
+            assert "/" not in filename and "\\" not in filename
+            assert offset.isdigit()
+            assert entry["kind"] == "pycall"
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(IngestError):
+            resolve_engine("jit")
+
+    @pytest.mark.skipif(hasattr(sys, "monitoring"),
+                        reason="sys.monitoring available here")
+    def test_explicit_monitoring_engine_fails_closed(self):
+        with pytest.raises(IngestError):
+            resolve_engine("monitoring")
+
+    def test_record_command_subprocess(self, tmp_path):
+        out = tmp_path / "child.ndjson"
+        code = record_command(
+            [sys.executable, "-c",
+             "def f(x):\n    return x + 1\nprint(sum(f(i) for i in range(9)))"],
+            out, name="child")
+        assert code == 0
+        parsed = read_ext_trace(out)
+        assert parsed.name == "child"
+        assert parsed.events
+        assert parsed.meta["argv"] == ["-c"]
+
+    def test_record_command_propagates_child_exit(self, tmp_path):
+        out = tmp_path / "child.ndjson"
+        code = record_command(
+            [sys.executable, "-c", "import sys; sys.exit(7)"], out)
+        assert code == 7
+        assert read_ext_trace(out) is not None
+
+    def test_record_command_empty_command(self, tmp_path):
+        with pytest.raises(IngestError):
+            record_command([], tmp_path / "t.ndjson")
+
+
+BRIL_TRACE = {
+    "functions": [{
+        "name": "__trace_main",
+        "instrs": [
+            {"label": "b0"},
+            {"op": "call", "funcs": ["square"], "dest": "v0"},
+            {"op": "add", "args": ["v0", "v0"], "dest": "v1"},
+            {"label": "b1"},
+            {"op": "call", "funcs": ["cube"], "dest": "v2"},
+            {"op": "call", "funcs": ["square"], "dest": "v3"},
+            {"label": "b0"},
+            {"op": "call", "funcs": ["square"], "dest": "v4"},
+        ],
+    }],
+}
+
+
+class TestBrilImport:
+    def test_import_program(self, tmp_path):
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps(BRIL_TRACE))
+        parsed = read_ext_trace(import_bril(source, tmp_path / "out.ndjson"))
+        assert parsed.producer == "repro-bril-import"
+        assert parsed.name == "trace"  # defaults to the source stem
+        assert len(parsed) == 4
+        assert parsed.site_label(0) == "__trace_main:b0:1"
+        assert parsed.site_label(1) == "__trace_main:b1:4"
+        assert {parsed.target_label(t) for _, t in parsed.events} \
+            == {"square", "cube"}
+        assert parsed.meta["function"] == "__trace_main"
+
+    def test_import_bare_instruction_list(self, tmp_path):
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps(
+            BRIL_TRACE["functions"][0]["instrs"]))
+        parsed = read_ext_trace(
+            import_bril(source, tmp_path / "out.ndjson", name="bare"))
+        assert parsed.name == "bare"
+        assert len(parsed) == 4
+
+    def test_rejects_unparseable_json(self, tmp_path):
+        source = tmp_path / "trace.json"
+        source.write_text("{nope")
+        with pytest.raises(IngestError):
+            import_bril(source, tmp_path / "out.ndjson")
+
+    def test_rejects_trace_without_calls(self, tmp_path):
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps([{"op": "add", "args": []}]))
+        with pytest.raises(IngestError) as excinfo:
+            import_bril(source, tmp_path / "out.ndjson")
+        assert "no executed 'call'" in str(excinfo.value)
+
+
+class TestNormalizer:
+    def test_address_layout(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        trace = normalize(read_ext_trace(path), source_digest(path),
+                          source_path=path)
+        assert list(trace.pcs) == [site_pc(s) for s, _ in EVENTS]
+        assert list(trace.targets) == [target_address(t) for _, t in EVENTS]
+        assert trace.name == REAL_PREFIX + "sample"
+
+    def test_provenance_block(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        trace = normalize(read_ext_trace(path), source_digest(path),
+                          source_path=path)
+        info = trace_ingest_info(trace)
+        assert info["producer"] == "unit-test"
+        assert info["source_sha256"] == source_digest(path)
+        assert info["events"] == len(EVENTS)
+        # Site 0 executes 3 of the 4 events: hottest first.
+        assert info["hot_sites"][0]["label"] == "a.py:f:10"
+        assert info["hot_sites"][0]["executions"] == 3
+
+    def test_normalization_is_deterministic(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        digest = source_digest(path)
+        first = normalize(read_ext_trace(path), digest, source_path=path)
+        second = normalize(read_ext_trace(path), digest, source_path=path)
+        assert list(first.pcs) == list(second.pcs)
+        assert first.metadata == second.metadata
+
+
+class TestCacheRoundTrip:
+    """Satellite: digest-keyed freshness through the existing TraceCache."""
+
+    def test_same_digest_hits(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        cache = TraceCache(tmp_path / "cache")
+        source = ExternalTraceSource.open(path)
+        first, origin = load_external_trace(source, cache)
+        assert origin == "generated"
+        second, origin = load_external_trace(source, cache)
+        assert origin == "cache"
+        assert list(first.pcs) == list(second.pcs)
+        assert trace_ingest_info(second)["source_sha256"] == source.digest
+
+    def test_mutated_source_misses_and_regenerates(self, tmp_path):
+        path = write_sample(tmp_path / "t.ndjson")
+        cache = TraceCache(tmp_path / "cache")
+        stale, _ = load_external_trace(ExternalTraceSource.open(path), cache)
+        # Rewrite the source with different events: same name, same
+        # cache key, different digest.
+        write_sample(path, events=[(1, 2), (1, 2), (0, 0)])
+        fresh_source = ExternalTraceSource.open(path)
+        fresh, origin = load_external_trace(fresh_source, cache)
+        assert origin == "generated"
+        assert len(fresh) == 3 and len(stale) == len(EVENTS)
+        # The re-store wins: the next load serves the fresh bytes.
+        again, origin = load_external_trace(fresh_source, cache)
+        assert origin == "cache"
+        assert list(again.targets) == list(fresh.targets)
+
+
+class TestRunnerIntegration:
+    @pytest.fixture()
+    def runner_with_external(self, tmp_path):
+        from repro.sim.suite_runner import SuiteRunner
+
+        path = write_sample(tmp_path / "t.ndjson",
+                            events=[(0, 1), (1, 0)] * 200)
+        runner = SuiteRunner(benchmarks=("perl", "ixx"), scale=0.05)
+        name = runner.register_external(ExternalTraceSource.open(path))
+        return runner, name
+
+    def test_rates_include_external(self, runner_with_external):
+        runner, name = runner_with_external
+        assert runner.external_names() == (name,)
+        rates = runner.rates(BTBConfig())
+        assert set(rates) == {"perl", "ixx", name}
+        assert 0.0 <= rates[name] <= 100.0
+
+    def test_avg_real_group(self, runner_with_external):
+        runner, name = runner_with_external
+        rates = runner.rates_with_groups(BTBConfig())
+        assert rates["AVG-real"] == pytest.approx(rates[name])
+        # Synthetic groups never absorb the external benchmark.
+        assert "AVG" not in rates or name not in ("perl", "ixx")
+
+    def test_benchmarks_stay_synthetic(self, runner_with_external):
+        runner, name = runner_with_external
+        assert name not in runner.benchmarks
+
+    def test_real_experiment(self):
+        from repro.experiments import registry
+        from repro.sim.suite_runner import SuiteRunner
+
+        # A private runner: the experiment self-traces and registers an
+        # external on it, which must not leak into shared fixtures.
+        runner = SuiteRunner(benchmarks=("perl", "ixx"), scale=0.05)
+        result = registry.run_experiment("real", runner=runner)
+        for series in result.series.values():
+            assert "AVG-real" in series
+            assert any(name.startswith(REAL_PREFIX) for name in series)
+        assert len(result.series) >= 2  # two predictor families
+
+
+class TestIngestCLI:
+    def test_ingest_python_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "t.ndjson"
+        code = main(["ingest", "python", "--out", str(out), "--name", "clitest",
+                     "--", sys.executable, "-c",
+                     "def f(x):\n    return x * 2\nprint(sum(f(i) for i in range(5)))"])
+        assert code == 0
+        assert "ingested" in capsys.readouterr().out
+        assert read_ext_trace(out).name == "clitest"
+
+    def test_ingest_python_requires_command(self, capsys):
+        assert main(["ingest", "python", "--out", "t.ndjson", "--"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ingest_bril(self, tmp_path, capsys):
+        source = tmp_path / "trace.json"
+        source.write_text(json.dumps(BRIL_TRACE))
+        out = tmp_path / "out.ndjson"
+        assert main(["ingest", "bril", str(source), "--out", str(out)]) == 0
+        assert "imported 4 event(s)" in capsys.readouterr().out
+
+    def test_ingest_validate_ok(self, tmp_path, capsys):
+        path = write_sample(tmp_path / "t.ndjson")
+        assert main(["ingest", "validate", str(path)]) == 0
+        assert "valid repro-ext-trace/1" in capsys.readouterr().out
+
+    def test_malformed_input_exits_1_with_one_line_error(self, tmp_path,
+                                                         capsys):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, json.dumps({"s": "x", "t": 0}))
+        assert main(["ingest", "validate", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert err.count("\n") == 1  # exactly one line, no traceback
+        assert "record 1" in err and "byte offset" in err
+        assert (tmp_path / "t.ndjson.quarantine.json").exists()
+
+    def test_simulate_rejects_malformed_ingest(self, tmp_path, capsys):
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, "{broken")
+        code = main(["simulate", "btb", "--ingest", str(path),
+                     "--scale", "0.02"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error: ") and "byte offset" in err
+
+    def test_simulate_sweeps_ingested_trace(self, tmp_path, capsys):
+        path = write_sample(tmp_path / "t.ndjson",
+                            events=[(0, 1), (1, 0), (0, 2)] * 50)
+        code = main(["simulate", "btb", "perl", "real-sample",
+                     "--ingest", str(path), "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "real-sample" in out
+        assert "AVG-real" in out
+
+    def test_cli_no_traceback_on_malformed(self, tmp_path):
+        # Belt and braces: drive the real process boundary.
+        path = write_sample(tmp_path / "t.ndjson")
+        corrupt(path, 1, "{broken")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "ingest", "validate", str(path)],
+            capture_output=True, text=True,
+            env={**__import__("os").environ, "PYTHONPATH": "src"},
+            cwd=str(__import__("pathlib").Path(__file__).resolve().parent.parent),
+        )
+        assert completed.returncode == 1
+        assert "Traceback" not in completed.stderr
+        assert completed.stderr.startswith("error: ")
+
+
+class TestParallelDeterminism:
+    """Satellite: ingest artifacts byte-identical serial vs --workers 2."""
+
+    def test_attribution_bit_identical(self, tmp_path, capsys):
+        path = write_sample(tmp_path / "t.ndjson",
+                            events=[(0, 1), (1, 0), (0, 2), (1, 2)] * 100)
+        outputs = {}
+        for label, extra in (("serial", []), ("parallel", ["--workers", "2"])):
+            run_dir = tmp_path / f"run-{label}"
+            attribution = tmp_path / f"attr-{label}.jsonl"
+            code = main(["simulate", "btb", "perl", "real-sample",
+                         "--ingest", str(path), "--scale", "0.02",
+                         "--checkpoint-dir", str(run_dir),
+                         "--attribution", str(attribution)] + extra)
+            assert code == 0
+            outputs[label] = attribution.read_bytes()
+        capsys.readouterr()
+        assert outputs["serial"] == outputs["parallel"]
+
+    def test_verify_cross_checks_manifested_ext_trace(self, tmp_path, capsys):
+        from repro.runtime.verify import verify_run
+
+        path = write_sample(tmp_path / "t.ndjson",
+                            events=[(0, 1), (1, 0)] * 100)
+        run_dir = tmp_path / "run"
+        code = main(["simulate", "btb", "real-sample",
+                     "--ingest", str(path), "--scale", "0.02",
+                     "--checkpoint-dir", str(run_dir)])
+        assert code == 0
+        capsys.readouterr()
+        manifest = json.loads((run_dir / "manifest.json").read_text())
+        assert "ext_trace.0" in manifest["artifacts"]
+        assert manifest["artifacts"]["ext_trace.0"]["schema"] \
+            == EXT_TRACE_SCHEMA
+        report = verify_run(run_dir)
+        assert report.ok
+        assert any(f.check == "ingest" and f.ok for f in report.findings)
+
+    def test_verify_catches_swapped_ext_trace(self, tmp_path, capsys):
+        from repro.runtime.verify import verify_run
+
+        path = write_sample(tmp_path / "t.ndjson",
+                            events=[(0, 1), (1, 0)] * 100)
+        run_dir = tmp_path / "run"
+        assert main(["simulate", "btb", "real-sample",
+                     "--ingest", str(path), "--scale", "0.02",
+                     "--checkpoint-dir", str(run_dir)]) == 0
+        capsys.readouterr()
+        # Swap the source for one with a different event count: the
+        # manifest hash check and the journal cross-check must both
+        # object.
+        write_sample(path, events=[(0, 0)] * 7)
+        report = verify_run(run_dir)
+        assert not report.ok

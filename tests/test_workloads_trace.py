@@ -123,6 +123,35 @@ class TestBinaryIO:
         assert str(clean_size) in message  # byte offset where garbage starts
         assert "4 byte(s)" in message
 
+    def test_unknown_extra_columns_rejected_with_offset(self, tmp_path):
+        # A well-formed v2 file with a whole extra event column appended
+        # (say, a producer speculatively adding per-event timestamps) is
+        # not quietly accepted: v2 declares exactly two columns, so the
+        # extra one is unexpected data, rejected with the byte offset at
+        # which it starts.
+        import struct
+        from array import array
+
+        trace = make_trace(events=16)
+        path = tmp_path / "trace.bin"
+        save_trace(trace, path)
+        clean_size = path.stat().st_size
+        extra_column = array("I", range(len(trace))).tobytes()
+        path.write_bytes(path.read_bytes() + extra_column)
+        with pytest.raises(TraceError) as excinfo:
+            load_trace(path)
+        message = str(excinfo.value)
+        assert "trailing garbage" in message
+        assert f"{len(extra_column)} byte(s)" in message
+        assert f"byte offset {clean_size}" in message
+        # The header is self-describing: the offset it reports is
+        # exactly header + metadata + the two declared columns.
+        magic_header = struct.Struct("<8sIIIII")
+        with open(path, "rb") as stream:
+            fields = magic_header.unpack(stream.read(magic_header.size))
+        expected = magic_header.size + fields[1] + 2 * 4 * fields[2]
+        assert f"byte offset {expected}" in message
+
     def test_checksum_flip_rejected(self, tmp_path):
         trace = make_trace(events=50)
         path = tmp_path / "trace.bin"

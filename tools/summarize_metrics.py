@@ -7,12 +7,16 @@ Accepts either telemetry artefact the CLI can produce:
   degradation events the run survived;
 * a ``--trace-log`` JSONL file (schema ``repro-trace-log/1``) — aggregates
   its spans into the same phase table plus per-event counts, with
-  degradation events broken out into their own table.
+  degradation events broken out into their own table;
+* an ingested external trace (schema ``repro-ext-trace/1``) — prints the
+  ingestion provenance: producer, event/site/target counts, and the
+  hottest call sites with their polymorphism degree.
 
 Usage::
 
     python tools/summarize_metrics.py runs/metrics.json
     python tools/summarize_metrics.py runs/trace.jsonl
+    python tools/summarize_metrics.py traces/pyrun.ndjson
 """
 
 import argparse
@@ -22,6 +26,7 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.ingest import EXT_TRACE_SCHEMA, read_ext_trace  # noqa: E402
 from repro.runtime.chaos import DEGRADATION_EVENTS  # noqa: E402
 from repro.runtime.telemetry import TRACE_LOG_SCHEMA, read_trace_log  # noqa: E402
 from repro.sim.reporting import format_table  # noqa: E402
@@ -73,6 +78,35 @@ def summarize_metrics(data: dict) -> str:
     return "\n\n".join(blocks)
 
 
+def summarize_ext_trace(path: Path) -> str:
+    """Ingestion provenance of a ``repro-ext-trace/1`` file."""
+    parsed = read_ext_trace(path)
+    rows = [
+        ["name", parsed.name],
+        ["producer", f"{parsed.producer}/{parsed.producer_version}"],
+        ["events", len(parsed.events)],
+        ["sites", len(parsed.sites)],
+        ["targets", len(parsed.targets)],
+    ]
+    for key, value in sorted(parsed.meta.items()):
+        rows.append([f"meta.{key}", value])
+    blocks = [format_table(["field", "value"], rows,
+                           title=f"ingestion provenance ({EXT_TRACE_SCHEMA})")]
+    executions: "dict" = {}
+    fanout: "dict" = {}
+    for site, target in parsed.events:
+        executions[site] = executions.get(site, 0) + 1
+        fanout.setdefault(site, set()).add(target)
+    hottest = sorted(executions, key=lambda s: (-executions[s], s))[:10]
+    blocks.append(format_table(
+        ["site", "executions", "targets", "share"],
+        [[parsed.site_label(site), executions[site], len(fanout[site]),
+          f"{100.0 * executions[site] / len(parsed.events):.1f}%"]
+         for site in hottest],
+        title=f"hottest call sites (top {len(hottest)})"))
+    return "\n\n".join(blocks)
+
+
 def summarize_trace_log(records: "list") -> str:
     phases: "dict" = {}
     events: "dict" = {}
@@ -118,6 +152,9 @@ def main(argv=None) -> int:
         header = None
     if isinstance(header, dict) and header.get("schema") == TRACE_LOG_SCHEMA:
         print(summarize_trace_log(read_trace_log(path)))
+        return 0
+    if isinstance(header, dict) and header.get("schema") == EXT_TRACE_SCHEMA:
+        print(summarize_ext_trace(path))
         return 0
     try:
         data = json.loads(text)
