@@ -19,7 +19,10 @@ Each argument is dispatched on its embedded schema identifier:
   manifest — matching byte sizes and SHA-256 digests);
 * ``repro-ext-trace/1`` — an ingested external trace (header tables with
   dense ids, event records referencing only declared ids, and an end
-  record whose event count matches).
+  record whose event count matches);
+* ``repro-bench-kernel/1`` — a ``tools/bench_kernel.py`` artifact
+  (per-figure aggregates, per-class breakdown, class times summing to
+  the figure totals, internally consistent speedups).
 """
 
 import hashlib
@@ -32,6 +35,7 @@ TRACE_LOG_SCHEMA = "repro-trace-log/1"
 ATTRIBUTION_SCHEMA = "repro-attribution/1"
 MANIFEST_SCHEMA = "repro-manifest/1"
 EXT_TRACE_SCHEMA = "repro-ext-trace/1"
+BENCH_KERNEL_SCHEMA = "repro-bench-kernel/1"
 MANIFEST_KINDS = {
     "journal": "repro-checkpoint/1",
     "metrics": METRICS_SCHEMA,
@@ -244,6 +248,50 @@ def check_manifest(path: str) -> None:
           f"{sum(degradations.values())} degradation(s))")
 
 
+def check_bench_kernel(path: str) -> None:
+    data = json.load(open(path))
+    assert data["schema"] == BENCH_KERNEL_SCHEMA, data.get("schema")
+    assert data["events"] > 0, "benchmark ran on an empty trace"
+    budgets = data["budgets"]
+    assert set(budgets) == {"tagless_speedup_min", "aggregate_speedup_min",
+                            "enforced"}, sorted(budgets)
+    figures = data["figures"]
+    assert set(figures) == {"fig16", "fig18_table6"}, sorted(figures)
+    for name, figure in figures.items():
+        assert figure["configs"] > 0, name
+        assert figure["oracle_s"] > 0.0 and figure["batch_s"] > 0.0, name
+        # Speedup is derived, not free-standing: recompute within
+        # rounding slack of the recorded per-figure times.
+        derived = figure["oracle_s"] / figure["batch_s"]
+        assert abs(figure["speedup"] - derived) <= 0.05 * derived, \
+            f"{name}: speedup {figure['speedup']} vs derived {derived:.2f}"
+        classes = figure["classes"]
+        assert classes, f"{name}: no class breakdown"
+        assert sum(b["configs"] for b in classes.values()) \
+            == figure["configs"], f"{name}: class configs do not sum"
+        for class_name, bucket in classes.items():
+            assert bucket["oracle_s"] >= 0.0 and bucket["batch_s"] > 0.0, \
+                (name, class_name)
+            assert bucket["speedup"] > 0.0, (name, class_name)
+        # Class times must account for the figure totals (rounding slack:
+        # each class contributes at most 0.001s of rounding error).
+        slack = 0.002 * len(classes) + 0.01
+        for column in ("oracle_s", "batch_s"):
+            total = sum(bucket[column] for bucket in classes.values())
+            assert abs(total - figure[column]) <= slack + 0.01 * figure[column], \
+                f"{name}: class {column} sum {total:.3f} vs {figure[column]}"
+        if budgets["enforced"]:
+            assert figure["speedup"] >= budgets["aggregate_speedup_min"], \
+                f"{name}: aggregate speedup below enforced budget"
+            tagless = classes.get("tagless")
+            if tagless:
+                assert tagless["speedup"] >= budgets["tagless_speedup_min"], \
+                    f"{name}: tagless speedup below enforced budget"
+    print(f"{path}: valid {BENCH_KERNEL_SCHEMA} "
+          f"(fig16 {figures['fig16']['speedup']}x, "
+          f"fig18_table6 {figures['fig18_table6']['speedup']}x)")
+
+
 def check_artifact(path: str) -> None:
     """Dispatch one artifact to its checker by embedded schema id."""
     with open(path) as handle:
@@ -267,6 +315,8 @@ def check_artifact(path: str) -> None:
             check_metrics(path)
         elif schema == MANIFEST_SCHEMA:
             check_manifest(path)
+        elif schema == BENCH_KERNEL_SCHEMA:
+            check_bench_kernel(path)
         else:
             raise AssertionError(
                 f"{path}: unrecognised artifact schema {schema!r}")

@@ -138,6 +138,7 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
     workers = getattr(args, "workers", 1)
     trace_log = getattr(args, "trace_log", None)
     attribution = getattr(args, "attribution", None)
+    kernel = getattr(args, "kernel", "event")
     ingest = getattr(args, "ingest", None) or []
     _prepare_output(trace_log)
     _prepare_output(attribution)
@@ -146,16 +147,17 @@ def _make_runner(args: argparse.Namespace) -> SuiteRunner:
         runner = checkpointed_runner(
             args.checkpoint_dir, resume=args.resume, scale=scale,
             workers=workers, trace_log=trace_log,
-            attribution=bool(attribution),
+            attribution=bool(attribution), kernel=kernel,
         )
         if args.resume and len(runner.checkpoint):
             print(f"resuming: {len(runner.checkpoint)} checkpointed "
                   f"simulation(s) will not be re-run", file=sys.stderr)
     elif workers > 1 or scale is not None or trace_log or attribution \
-            or ingest:
+            or ingest or kernel != "event":
         runner = SuiteRunner(scale=scale, workers=workers,
                              trace_log=trace_log,
-                             attribution=bool(attribution))
+                             attribution=bool(attribution),
+                             kernel=kernel)
     else:
         return shared_runner()
     _register_ingest(runner, ingest)
@@ -238,6 +240,15 @@ def _add_runner_options(parser: argparse.ArgumentParser) -> None:
                         help="worker processes for (config, benchmark) "
                              "work units (default: 1 = serial; results "
                              "are bit-identical either way)")
+    parser.add_argument("--kernel", choices=("event", "batch", "auto"),
+                        default="event",
+                        help="simulation kernel: 'event' (per-event "
+                             "oracle loop, default), 'batch' (vectorized "
+                             "column kernel, bit-exact, errors on "
+                             "unsupported configs), or 'auto' (batch "
+                             "when supported, oracle otherwise); "
+                             "--attribution always uses the per-event "
+                             "engine")
     parser.add_argument("--metrics-out", metavar="FILE",
                         help="write the run's JSON metrics record "
                              "(repro-run-metrics/2: per-phase breakdown, "

@@ -53,11 +53,18 @@ class BranchTargetBuffer:
         return misses
 
     def reset(self) -> None:
+        # The attribution engine attaches an observer to the live table;
+        # rebuilding must not silently drop it or the instrumented run
+        # stops seeing evictions after a mid-run reset.
+        observer = self._table.observer
         self._table = make_table(
             self.config.num_entries,
             self.config.associativity,
             self.config.update_rule,
         )
+        self._table.observer = observer
+        if observer is not None and hasattr(observer, "table"):
+            observer.table = self._table
 
     @property
     def table(self) -> BasePredictionTable:

@@ -96,7 +96,14 @@ class TwoLevelPredictor:
         return misses
 
     def reset(self) -> None:
+        # Preserve any attribution observer across the rebuild — the
+        # instrumented run attaches to ``self.table`` and must keep
+        # receiving eviction/write callbacks after a reset.
+        observer = self.table.observer
         self._build()
+        self.table.observer = observer
+        if observer is not None and hasattr(observer, "table"):
+            observer.table = self.table
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"TwoLevelPredictor({self.config.label})"

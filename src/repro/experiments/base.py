@@ -110,6 +110,7 @@ def checkpointed_runner(
     workers: int = 1,
     trace_log: Optional[Union[str, Path]] = None,
     attribution: bool = False,
+    kernel: str = "event",
 ):
     """A :class:`~repro.sim.suite_runner.SuiteRunner` with durability.
 
@@ -137,6 +138,10 @@ def checkpointed_runner(
     instrumented misprediction-attribution loop (``--attribution``);
     collected records are written by
     :meth:`~repro.sim.suite_runner.SuiteRunner.write_attribution`.
+
+    ``kernel`` selects the simulation kernel for fresh runs (``"event"``,
+    ``"batch"``, or ``"auto"``); checkpointed results replay regardless
+    of the kernel that produced them — the two are bit-identical.
     """
     from ..runtime.checkpoint import CheckpointJournal
     from ..sim.suite_runner import SuiteRunner
@@ -153,4 +158,5 @@ def checkpointed_runner(
         workers=workers,
         trace_log=trace_log,
         attribution=attribution,
+        kernel=kernel,
     )

@@ -76,6 +76,7 @@ def _worker_main(
     result_queue: "multiprocessing.Queue",
     attribution: bool = False,
     chaos_path: Optional[str] = None,
+    kernel: str = "event",
 ) -> None:
     """Worker loop: pull (unit_id, config, benchmark), simulate, report.
 
@@ -147,7 +148,7 @@ def _worker_main(
             traces[benchmark] = trace
             collector = AttributionCollector() if attribution else None
             result = simulate(build_predictor(config), trace,
-                              attribution=collector)
+                              attribution=collector, kernel=kernel)
             attribution_record = (
                 collector.records()[0] if collector is not None else None
             )
@@ -264,6 +265,10 @@ class ParallelExecutor:
             record back with the result (see ``run``'s
             ``on_attribution``).
         mp_context: ``multiprocessing`` context override (tests).
+        kernel: simulation kernel forwarded to every worker's
+            ``simulate`` call (``"event"``, ``"batch"``, or ``"auto"``);
+            the serial crash-fallback path uses the same kernel, so
+            results stay identical either way.
     """
 
     def __init__(
@@ -277,6 +282,7 @@ class ParallelExecutor:
         tracer: Optional[Tracer] = None,
         attribution: bool = False,
         mp_context: Optional[object] = None,
+        kernel: str = "event",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -293,6 +299,7 @@ class ParallelExecutor:
         self.tracer = tracer if tracer is not None else Tracer(metrics=self.metrics)
         self.progress_enabled = progress
         self.attribution = attribution
+        self.kernel = kernel
         self._ctx = mp_context or multiprocessing.get_context()
         self._next_worker_id = 0
         #: set when the respawn budget ran out: the pool was torn down
@@ -311,7 +318,7 @@ class ParallelExecutor:
             target=_worker_main,
             args=(worker_id, os.getpid(), str(self.trace_cache.directory),
                   self.scale, task_queue, result_queue, self.attribution,
-                  str(chaos_path) if chaos_path else None),
+                  str(chaos_path) if chaos_path else None, self.kernel),
             name=f"repro-sim-worker-{worker_id}",
             daemon=True,
         )
@@ -632,7 +639,7 @@ class ParallelExecutor:
                     traces[unit.benchmark] = trace
                 collector = AttributionCollector() if self.attribution else None
                 result = simulate(build_predictor(unit.config), trace,
-                                  attribution=collector)
+                                  attribution=collector, kernel=self.kernel)
             except Exception as exc:
                 error = f"{type(exc).__name__}: {exc}"
                 outcome = scheduler.fail(unit.unit_id, error)

@@ -76,6 +76,46 @@ class SimulationResult:
         )
 
 
+def resolve_kernel(
+    predictor: IndirectBranchPredictor,
+    kernel: str = "event",
+    reset: bool = True,
+    attribution: Optional[object] = None,
+) -> tuple:
+    """Resolve a ``kernel`` request to ``("event" | "batch", reason)``.
+
+    ``reason`` explains why the batch kernel was not used (``None`` when
+    it was).  ``kernel="auto"`` silently falls back to the per-event
+    oracle; ``kernel="batch"`` raises :class:`SimulationError` instead.
+    """
+    if kernel not in ("event", "batch", "auto"):
+        raise SimulationError(
+            f"unknown kernel {kernel!r} (choose event, batch, or auto)"
+        )
+    if kernel == "event":
+        return "event", None
+    reason: Optional[str] = None
+    config = getattr(predictor, "config", None)
+    if attribution is not None:
+        reason = "misprediction attribution requires the per-event engine"
+    elif not reset:
+        reason = "reset=False chains predictor state the batch kernel does not carry"
+    elif config is None:
+        reason = f"{type(predictor).__name__} carries no config to batch-simulate"
+    else:
+        try:
+            from .kernel import unsupported_reason
+        except ImportError as exc:  # numpy unavailable
+            reason = f"batch kernel unavailable: {exc}"
+        else:
+            reason = unsupported_reason(config)
+    if reason is None:
+        return "batch", None
+    if kernel == "batch":
+        raise SimulationError(f"batch kernel cannot run this simulation: {reason}")
+    return "event", reason
+
+
 def simulate(
     predictor: IndirectBranchPredictor,
     trace: Trace,
@@ -83,6 +123,7 @@ def simulate(
     label: Optional[str] = None,
     tracer: Optional[object] = None,
     attribution: Optional[object] = None,
+    kernel: str = "event",
 ) -> SimulationResult:
     """Run ``predictor`` over ``trace`` and return the misprediction result.
 
@@ -102,10 +143,23 @@ def simulate(
             attribution record with the collector.  The returned miss
             count comes from the same instrumented run (it matches the
             fast path exactly); ``None`` keeps the fast path untouched.
+        kernel: ``"event"`` (default) runs the per-event oracle loop;
+            ``"batch"`` runs the vectorized column kernel
+            (:mod:`repro.sim.kernel`) and raises :class:`SimulationError`
+            for configurations or modes it cannot simulate exactly;
+            ``"auto"`` prefers batch and silently falls back to the
+            oracle (attribution runs, ``reset=False`` chaining,
+            unsupported configs, or a missing numpy).  The batch kernel
+            rebuilds predictor state from the config and leaves the
+            ``predictor`` instance untouched; miss counts are bit-exact
+            against the oracle.
     """
     if label is None:
         config = getattr(predictor, "config", None)
         label = getattr(config, "label", type(predictor).__name__)
+    chosen, _ = resolve_kernel(
+        predictor, kernel=kernel, reset=reset, attribution=attribution
+    )
     if reset:
         predictor.reset()
 
@@ -118,6 +172,10 @@ def simulate(
     _active_chaos().inject("simulate", label=f"{label}/{trace.name}")
 
     def run_events() -> int:
+        if chosen == "batch":
+            from .kernel import batch_run_trace
+
+            return batch_run_trace(predictor.config, trace.pcs, trace.targets)
         if attribution is not None:
             from .attribution import InstrumentedRun
 
@@ -135,6 +193,8 @@ def simulate(
                            predictor=str(label), events=len(trace))
         if attribution is not None:
             span.annotate(attribution=True)
+        if chosen != "event":
+            span.annotate(kernel=chosen)
         with span:
             misses = run_events()
     else:

@@ -57,6 +57,7 @@ class SuiteRunner:
         progress: bool = True,
         trace_log: Optional[object] = None,
         attribution: bool = False,
+        kernel: str = "event",
     ) -> None:
         """Args beyond the suite subset and trace scale:
 
@@ -89,9 +90,26 @@ class SuiteRunner:
                 ``run_trace`` paths stay untouched.  Results replayed from
                 a checkpoint carry no attribution record (only the re-run
                 units are instrumented).
+            kernel: simulation kernel for every fresh run — ``"event"``
+                (default, the per-event oracle loop), ``"batch"`` (the
+                vectorized column kernel, strict), or ``"auto"`` (batch
+                when supported, oracle otherwise).  Attribution runs
+                always use the per-event engine; combining
+                ``attribution=True`` with ``kernel="batch"`` is
+                rejected.
         """
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if kernel not in ("event", "batch", "auto"):
+            raise ValueError(
+                f"kernel must be event, batch, or auto, got {kernel!r}"
+            )
+        if kernel == "batch" and attribution:
+            raise ValueError(
+                "attribution requires the per-event engine; use "
+                "kernel='event' (or 'auto') with attribution=True"
+            )
+        self.kernel = kernel
         self.benchmarks: Tuple[str, ...] = tuple(
             benchmarks if benchmarks is not None else benchmark_names()
         )
@@ -242,7 +260,8 @@ class SuiteRunner:
             trace, sources["trace"] = self._trace_with_source(benchmark)
             if self._simulate is simulate:
                 return simulate(predictor, trace, tracer=self.tracer,
-                                attribution=self.attribution)
+                                attribution=self.attribution,
+                                kernel=self.kernel)
             with self.tracer.span("simulate", benchmark=benchmark,
                                   predictor=str(label)):
                 return self._simulate(predictor, trace)
@@ -347,6 +366,7 @@ class SuiteRunner:
             progress=self.progress,
             tracer=self.tracer,
             attribution=self.attribution is not None,
+            kernel=self.kernel,
         )
 
         def on_result(unit, result) -> None:

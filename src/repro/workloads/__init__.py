@@ -11,7 +11,8 @@ Public surface::
 """
 
 from .classes import AddressSpace, TypeUniverse
-from .io import load_trace, load_trace_text, save_trace, save_trace_text
+from .io import (load_trace, load_trace_text, save_trace,
+                 save_trace_text, trace_columns)
 from .phases import Phase, PhaseSchedule
 from .program import (
     DEFAULT_QUANTILES,
@@ -103,6 +104,7 @@ __all__ = [
     "quantile_weights",
     "save_trace",
     "save_trace_text",
+    "trace_columns",
     "trace_scale",
     "workload_config",
     "zipf_weights",

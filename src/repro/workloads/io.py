@@ -183,6 +183,26 @@ def load_trace(path: PathLike) -> Trace:
     return trace
 
 
+def trace_columns(trace: Trace):
+    """Return ``(pcs, targets)`` as ``int64`` numpy columns.
+
+    The binary format stores unsigned 32-bit event columns; the batch
+    simulation kernel does all key assembly in signed 64-bit space so
+    that addresses near ``2**32`` (common in ingested real traces) can
+    be shifted and XOR-mixed without silent wraparound.  This helper is
+    the one sanctioned crossing between the two representations: it
+    upcasts and *validates* the 32-bit contract, raising
+    :class:`~repro.errors.TraceError` for columns no v2 trace file
+    could have produced.  Requires numpy.
+    """
+    from ..core.batch import BatchDtypeError, as_int64_columns
+
+    try:
+        return as_int64_columns(trace.pcs, trace.targets)
+    except BatchDtypeError as exc:
+        raise TraceError(f"trace {trace.name!r}: {exc}") from exc
+
+
 def save_trace_text(trace: Trace, path: PathLike) -> None:
     """Write a trace as ``pc target`` hex pairs, one event per line."""
     with open(path, "w", encoding="utf-8") as stream:
