@@ -22,11 +22,21 @@ Each argument is dispatched on its embedded schema identifier:
   record whose event count matches);
 * ``repro-bench-kernel/1`` — a ``tools/bench_kernel.py`` artifact
   (per-figure aggregates, per-class breakdown, class times summing to
-  the figure totals, internally consistent speedups).
+  the figure totals, internally consistent speedups);
+* ``repro-metrics-snapshot/1`` — a merged metrics snapshot (``repro
+  stats --json``): integer counters/gauges, bounded log-bucketed
+  histograms whose bucket counts sum to their observation counts;
+* ``repro-service-metrics-stream/1`` — a server's live
+  ``metrics-stream.jsonl`` (header line, increasing ``seq``, valid
+  merged + per-shard snapshots per record, monotonic ``server.*``
+  counters, torn final line tolerated);
+* ``repro-bench-trend/1`` — a ``tools/bench_trend.py`` history file
+  (header line, one run record per line with a numeric metrics map).
 """
 
 import hashlib
 import json
+import math
 import os
 import sys
 
@@ -36,6 +46,9 @@ ATTRIBUTION_SCHEMA = "repro-attribution/1"
 MANIFEST_SCHEMA = "repro-manifest/1"
 EXT_TRACE_SCHEMA = "repro-ext-trace/1"
 BENCH_KERNEL_SCHEMA = "repro-bench-kernel/1"
+SNAPSHOT_SCHEMA = "repro-metrics-snapshot/1"
+METRICS_STREAM_SCHEMA = "repro-service-metrics-stream/1"
+BENCH_TREND_SCHEMA = "repro-bench-trend/1"
 MANIFEST_KINDS = {
     "journal": "repro-checkpoint/1",
     "metrics": METRICS_SCHEMA,
@@ -43,9 +56,17 @@ MANIFEST_KINDS = {
     "attribution": ATTRIBUTION_SCHEMA,
     "chaos_plan": "repro-chaos-plan/1",
     "ext_trace": EXT_TRACE_SCHEMA,
+    "service_journal": "repro-service-journal/1",
+    "service_sheds": "repro-service-sheds/1",
+    "service_tenants": "repro-service-tenants/1",
+    "service_metrics": "repro-service-metrics/1",
+    "service_metrics_stream": METRICS_STREAM_SCHEMA,
 }
 DEGRADATION_EVENTS = {
     "cache_fallback", "serial_fallback", "checkpoint_off", "telemetry_off",
+    # Serving-path degradations (manifest.json of a `repro serve` run).
+    "shard_respawn", "shard_failed", "service_journal_off",
+    "snapshot_missing", "metrics_stream_off",
 }
 CAUSES = {"cold", "capacity", "conflict", "training", "metapredictor",
           "unknown"}
@@ -57,7 +78,7 @@ ATTRIBUTION_RECORD_KEYS = {
 METRICS_KEYS = {
     "schema", "workers", "wall_time_s", "phases", "units", "worker_crashes",
     "unit_wall_time_s", "queue_depth", "worker_utilization", "trace_loads",
-    "per_unit",
+    "per_unit", "counters",
 }
 UNIT_KEYS = {"total", "completed", "from_checkpoint", "requeued", "poisoned"}
 TRACE_SOURCES = {"memo", "cache", "generated"}
@@ -80,6 +101,11 @@ def check_metrics(path: str) -> None:
     for unit in data["per_unit"]:
         assert unit["trace_source"] in TRACE_SOURCES, unit
         assert unit["seconds"] >= 0.0, unit
+    for name, count in data["counters"].items():
+        assert isinstance(name, str) and name, repr(name)
+        assert isinstance(count, int) and not isinstance(count, bool), \
+            (name, count)
+        assert count >= 1, (name, count)
     for event, count in data.get("degradations", {}).items():
         assert event in DEGRADATION_EVENTS, f"unknown degradation {event!r}"
         assert count >= 1, (event, count)
@@ -292,6 +318,132 @@ def check_bench_kernel(path: str) -> None:
           f"fig18_table6 {figures['fig18_table6']['speedup']}x)")
 
 
+def assert_snapshot(snapshot, context: str) -> None:
+    """Structural invariants of one ``repro-metrics-snapshot/1`` dict."""
+    assert isinstance(snapshot, dict), f"{context}: snapshot is not a dict"
+    assert snapshot.get("schema") == SNAPSHOT_SCHEMA, \
+        f"{context}: schema {snapshot.get('schema')!r}"
+    for section in ("counters", "gauges", "histograms"):
+        assert isinstance(snapshot.get(section), dict), f"{context}: {section}"
+    for name, value in snapshot["counters"].items():
+        assert isinstance(value, int) and not isinstance(value, bool), \
+            f"{context}: counter {name} = {value!r}"
+        assert value >= 0, f"{context}: counter {name} negative"
+    for name, value in snapshot["gauges"].items():
+        assert isinstance(value, int) and not isinstance(value, bool), \
+            f"{context}: gauge {name} = {value!r}"
+    for name, hist in snapshot["histograms"].items():
+        where = f"{context}: histogram {name}"
+        assert {"alpha", "count", "zero_count", "sum_units", "min", "max",
+                "buckets"} <= set(hist), f"{where}: keys {sorted(hist)}"
+        alpha = hist["alpha"]
+        assert 0.0 < alpha < 1.0, f"{where}: alpha {alpha}"
+        assert hist["count"] >= hist["zero_count"] >= 0, where
+        buckets = hist["buckets"]
+        # The documented memory bound: bucket count can never exceed the
+        # index span of the trackable range [1e-9, 1e9] at this alpha.
+        gamma = (1.0 + alpha) / (1.0 - alpha)
+        most = math.ceil(math.log(1e18) / math.log(gamma)) + 2
+        assert len(buckets) <= most, \
+            f"{where}: {len(buckets)} buckets exceeds bound {most}"
+        total = hist["zero_count"] + sum(buckets.values())
+        assert total == hist["count"], \
+            f"{where}: buckets sum to {total}, count says {hist['count']}"
+        if hist["count"] > 0:
+            assert hist["min"] is not None and hist["max"] is not None, where
+            assert hist["min"] <= hist["max"], where
+
+
+def check_snapshot(path: str) -> None:
+    snapshot = json.load(open(path))
+    assert_snapshot(snapshot, path)
+    print(f"{path}: valid {SNAPSHOT_SCHEMA} "
+          f"({len(snapshot['counters'])} counters, "
+          f"{len(snapshot['gauges'])} gauges, "
+          f"{len(snapshot['histograms'])} histograms)")
+
+
+def check_metrics_stream(path: str) -> None:
+    lines = open(path).read().splitlines()
+    assert lines, "empty metrics stream"
+    header = json.loads(lines[0])
+    assert header.get("schema") == METRICS_STREAM_SCHEMA, header
+    assert "pid" not in header, "metrics-stream header must be deterministic"
+    records = 0
+    last_seq = 0
+    finals = 0
+    floors = {}
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            record = json.loads(line)
+        except ValueError:
+            # A torn final line is the signature of a crash mid-append;
+            # everything before it must still parse.
+            assert number == len(lines), f"line {number}: corrupt record"
+            break
+        where = f"line {number}"
+        assert record.get("kind") in ("snapshot", "final"), where
+        assert finals == 0, f"{where}: record after the final snapshot"
+        seq = record.get("seq")
+        assert isinstance(seq, int) and seq > last_seq, \
+            f"{where}: seq {seq!r} not above {last_seq}"
+        last_seq = seq
+        assert record.get("t", -1.0) >= 0.0, where
+        assert_snapshot(record.get("merged"), where)
+        shards = record.get("shards")
+        assert isinstance(shards, dict), where
+        for shard_id, snapshot in shards.items():
+            assert_snapshot(snapshot, f"{where}: shard {shard_id}")
+        # Only server-side counters are monotonic across the stream: a
+        # shard respawn resets that shard's registry, so merged shard.*
+        # counters may legitimately step backwards.
+        for name, value in record["merged"]["counters"].items():
+            if not name.startswith("server."):
+                continue
+            assert value >= floors.get(name, 0), \
+                f"{where}: {name} went backwards"
+            floors[name] = value
+        if record["kind"] == "final":
+            finals += 1
+        records += 1
+    assert records > 0, "metrics stream has no snapshots"
+    print(f"{path}: valid {METRICS_STREAM_SCHEMA} "
+          f"({records} snapshots, {finals} final, "
+          f"{len(floors)} server counters monotonic)")
+
+
+def check_bench_trend(path: str) -> None:
+    lines = open(path).read().splitlines()
+    assert lines, "empty bench-trend history"
+    header = json.loads(lines[0])
+    assert header.get("schema") == BENCH_TREND_SCHEMA, header
+    runs = 0
+    last_run = 0
+    metric_names = set()
+    for number, line in enumerate(lines[1:], start=2):
+        record = json.loads(line)
+        where = f"line {number}"
+        assert record.get("kind") == "run", where
+        run = record.get("run")
+        assert isinstance(run, int) and run > last_run, \
+            f"{where}: run {run!r} not above {last_run}"
+        last_run = run
+        metrics = record.get("metrics")
+        assert isinstance(metrics, dict) and metrics, \
+            f"{where}: empty metrics map"
+        for name, value in metrics.items():
+            assert isinstance(name, str) and ":" in name, \
+                f"{where}: metric name {name!r} (want file:dotted.path)"
+            assert isinstance(value, (int, float)) \
+                and not isinstance(value, bool) \
+                and math.isfinite(value), f"{where}: {name} = {value!r}"
+            metric_names.add(name)
+        runs += 1
+    assert runs > 0, "bench-trend history records no runs"
+    print(f"{path}: valid {BENCH_TREND_SCHEMA} "
+          f"({runs} runs, {len(metric_names)} metrics tracked)")
+
+
 def check_artifact(path: str) -> None:
     """Dispatch one artifact to its checker by embedded schema id."""
     with open(path) as handle:
@@ -307,6 +459,10 @@ def check_artifact(path: str) -> None:
         check_attribution(path)
     elif schema == EXT_TRACE_SCHEMA:
         check_ext_trace(path)
+    elif schema == METRICS_STREAM_SCHEMA:
+        check_metrics_stream(path)
+    elif schema == BENCH_TREND_SCHEMA:
+        check_bench_trend(path)
     else:
         # Multi-line JSON documents: the schema key is inside the body.
         data = json.load(open(path))
@@ -317,6 +473,8 @@ def check_artifact(path: str) -> None:
             check_manifest(path)
         elif schema == BENCH_KERNEL_SCHEMA:
             check_bench_kernel(path)
+        elif schema == SNAPSHOT_SCHEMA:
+            check_snapshot(path)
         else:
             raise AssertionError(
                 f"{path}: unrecognised artifact schema {schema!r}")

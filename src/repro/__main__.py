@@ -72,6 +72,20 @@ loop and write its per-cause / per-site / per-component artifact
     breaker) and print/write the outcome summary; ``--shutdown`` drains
     the server afterwards.
 
+``stats --endpoint RUN_DIR/endpoint.json`` (or ``--host/--port``)
+    One-shot query of a live server's metrics: aligned tables by
+    default, ``--json`` for the raw merged ``repro-metrics-snapshot/1``
+    (counters, gauges, bounded log-bucketed histograms — exactly merged
+    across shards; percentiles carry a 5% relative-error bound).  The
+    same snapshots are streamed to ``metrics-stream.jsonl`` every
+    ``serve --stats-interval`` seconds.  See DESIGN.md §3.13.
+
+``top --endpoint RUN_DIR/endpoint.json``
+    Live ANSI dashboard over a running server: per-shard event rate,
+    queue depth, batch p50/p99, tenant residency, sheds, degradations.
+    ``--iterations N --plain`` renders N frames without ANSI clears
+    (transcripts, CI).
+
 ``replay RUN_DIR --out DIR``
     Offline replay of a serving run's shard journals into a reference
     ``tenants.json`` — the oracle ``repro verify --against`` compares a
@@ -349,6 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_attempts=args.max_attempts,
         respawn_budget=args.respawn_budget,
         batch_deadline=args.batch_deadline, trace_log=args.trace_log,
+        stats_interval=args.stats_interval,
     )
 
     async def _run() -> int:
@@ -399,6 +414,29 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     for line in summary["inconsistencies"]:
         print(f"  INCONSISTENT: {line}", file=sys.stderr)
     return 4 if summary["inconsistencies"] else 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .service.console import resolve_endpoint, run_stats
+
+    try:
+        host, port = resolve_endpoint(args.endpoint, args.host, args.port)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_stats(host, port, as_json=args.json, out=args.out)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .service.console import resolve_endpoint, run_top
+
+    try:
+        host, port = resolve_endpoint(args.endpoint, args.host, args.port)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return run_top(host, port, interval=args.interval,
+                   iterations=args.iterations, plain=args.plain)
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -593,6 +631,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "watchdog kills it (default: 15)")
     serve.add_argument("--trace-log", metavar="FILE",
                        help="structured telemetry log (repro-trace-log/1)")
+    serve.add_argument("--stats-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="cadence of shard metrics snapshots and of "
+                            "metrics-stream.jsonl appends (default: 1)")
     serve.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                        help="arm a deterministic service fault plan "
                             "(shard crashes/stalls, connection faults, "
@@ -633,6 +675,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "synthetic streams (the replay oracle and "
                               "verify --against work unchanged)")
     loadgen.set_defaults(handler=_cmd_loadgen)
+
+    stats = subparsers.add_parser(
+        "stats", help="one-shot metrics snapshot of a live server")
+    stats.add_argument("--host", default="127.0.0.1")
+    stats.add_argument("--port", type=int, default=None)
+    stats.add_argument("--endpoint", metavar="FILE",
+                       help="read host/port from a server's endpoint.json "
+                            "instead of --port")
+    stats.add_argument("--json", action="store_true",
+                       help="print the raw merged repro-metrics-snapshot/1 "
+                            "instead of tables")
+    stats.add_argument("--out", metavar="FILE",
+                       help="also write the merged snapshot JSON here")
+    stats.set_defaults(handler=_cmd_stats)
+
+    top = subparsers.add_parser(
+        "top", help="live ANSI dashboard over a running server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=None)
+    top.add_argument("--endpoint", metavar="FILE",
+                     help="read host/port from a server's endpoint.json "
+                          "instead of --port")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh cadence (default: 1)")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="stop after N frames (default: run until ^C)")
+    top.add_argument("--plain", action="store_true",
+                     help="no ANSI clear between frames (for transcripts "
+                          "and CI)")
+    top.set_defaults(handler=_cmd_top)
 
     replay = subparsers.add_parser(
         "replay", help="offline-replay a serving run's journals")

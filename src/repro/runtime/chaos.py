@@ -32,6 +32,7 @@ point              fired from                   modes
 ``service.shard_exit`` service shard, per batch ``crash`` (SIGKILL)
 ``service.slow_shard`` service shard, per batch ``hang`` (sleep)
 ``tenant.churn``   service shard, per batch     ``evict`` (park tenant state)
+``service.metrics_stream`` metrics-stream append ``io_error`` (EIO)
 ================== ============================ ===========================
 
 Faults raising :class:`~repro.errors.FaultInjectedError` are
@@ -80,6 +81,10 @@ INJECTION_POINTS: Dict[str, Tuple[str, ...]] = {
     "service.shard_exit": ("crash",),      # shard process SIGKILLs mid-batch
     "service.slow_shard": ("hang",),       # shard stalls before a batch
     "tenant.churn": ("evict",),            # force-evict tenant state to the cache
+    # EIO on a metrics-stream append: the server must detach the stream
+    # (metrics_stream_off degradation), never die.  Catalog-only — not in
+    # SERVICE_POINTS, so fixed --chaos-seed plans stay byte-stable.
+    "service.metrics_stream": ("io_error",),
 }
 
 #: The batch-CLI subset of the catalog: what :meth:`ChaosPlan.generate`

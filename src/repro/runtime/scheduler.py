@@ -260,6 +260,10 @@ class RunMetrics:
     #: phase name (trace_gen/trace_load/simulate/journal/...) -> stats,
     #: accumulated by the run's :class:`~repro.runtime.telemetry.Tracer`
     phases: Dict[str, PhaseStats] = field(default_factory=dict)
+    #: tracer span/event occurrence counts (cache_fallback, requeue, ...),
+    #: mirrored from :attr:`Tracer.counters` so the metrics artifact
+    #: carries them (``counters`` key of ``repro-run-metrics/2``)
+    counters: Dict[str, int] = field(default_factory=dict)
 
     def record_unit(
         self,
@@ -285,6 +289,10 @@ class RunMetrics:
         if stats is None:
             stats = self.phases[name] = PhaseStats()
         stats.add(seconds)
+
+    def record_counter(self, name: str, amount: int = 1) -> None:
+        """Count one tracer span/event occurrence (tracer hook)."""
+        self.counters[name] = self.counters.get(name, 0) + amount
 
     def sample_queue_depth(self, depth: int) -> None:
         self.queue_depth_samples.append(depth)
@@ -329,5 +337,6 @@ class RunMetrics:
             },
             "worker_utilization": self.utilization(),
             "trace_loads": dict(self.trace_loads),
+            "counters": dict(sorted(self.counters.items())),
             "per_unit": [t.to_dict() for t in self.unit_timings],
         }

@@ -170,6 +170,9 @@ class Tracer:
         self.counters[name] = self.counters.get(name, 0) + 1
         if self.metrics is not None:
             self.metrics.record_phase(name, seconds)
+            recorder = getattr(self.metrics, "record_counter", None)
+            if recorder is not None:
+                recorder(name)
         self._sink_write({
             "kind": "span",
             "name": name,
@@ -184,6 +187,10 @@ class Tracer:
     def event(self, name: str, **attrs: object) -> None:
         """Record a point event (dispatch, requeue, quarantine, ...)."""
         self.counters[name] = self.counters.get(name, 0) + 1
+        if self.metrics is not None:
+            recorder = getattr(self.metrics, "record_counter", None)
+            if recorder is not None:
+                recorder(name)
         self._sink_write({
             "kind": "event",
             "name": name,

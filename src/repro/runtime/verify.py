@@ -62,6 +62,7 @@ ARTIFACT_SCHEMAS: Dict[str, str] = {
     "service_sheds": "repro-service-sheds/1",
     "service_tenants": "repro-service-tenants/1",
     "service_metrics": "repro-service-metrics/1",
+    "service_metrics_stream": "repro-service-metrics-stream/1",
 }
 
 
@@ -310,6 +311,50 @@ def _check_artifact_schema(kind: str, path: Path,
             report.add(f"format:{kind}", True,
                        f"{len(data.get('tenants', {}))} tenant(s)")
             return data
+        if base == "service_metrics_stream":
+            from ..service.state import METRICS_STREAM_SCHEMA
+            from .metrics import validate_snapshot
+            from .telemetry import read_trace_log
+
+            records = read_trace_log(path, schema=METRICS_STREAM_SCHEMA)
+            problems = []
+            last_seq = 0
+            last_counters: Dict[str, int] = {}
+            for record in records:
+                seq = record.get("seq")
+                if not isinstance(seq, int) or seq <= last_seq:
+                    problems.append(f"seq {seq!r} after {last_seq}")
+                    continue
+                last_seq = seq
+                try:
+                    validate_snapshot(record.get("merged"))
+                    for snap in record.get("shards", {}).values():
+                        validate_snapshot(snap)
+                except ValueError as exc:
+                    problems.append(f"seq {seq}: {exc}")
+                    continue
+                # Only server.* counters are globally monotonic: a shard
+                # respawn restarts that shard's registry, so merged
+                # shard.* counts can legitimately dip under chaos.
+                counters = {
+                    name: value
+                    for name, value in record["merged"]["counters"].items()
+                    if name.startswith("server.")
+                }
+                regressed = [name for name, value in last_counters.items()
+                             if counters.get(name, 0) < value]
+                if regressed:
+                    problems.append(
+                        f"seq {seq}: counter(s) went backwards: "
+                        f"{regressed[:3]}")
+                last_counters = counters
+            if problems:
+                report.add(f"format:{kind}", False,
+                           "; ".join(problems[:3]))
+                return None
+            report.add(f"format:{kind}", True,
+                       f"{len(records)} snapshot(s), counters monotonic")
+            return records
         if base == "service_metrics":
             from ..service.state import SERVICE_METRICS_SCHEMA
 
@@ -453,6 +498,7 @@ def verify_run(
 def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
     """Artifact-vs-artifact consistency checks."""
     _cross_check_service(parsed, report)
+    _cross_check_metrics_stream(parsed, report)
     _cross_check_ingest(parsed, report)
     journal = parsed.get("journal")
     metrics = parsed.get("metrics")
@@ -511,6 +557,50 @@ def _cross_check(parsed: Dict[str, object], report: VerifyReport) -> None:
             report.add("attribution", True,
                        f"{count} record(s) match the journal; per-cause "
                        f"sums equal fast-path totals")
+
+
+def _cross_check_metrics_stream(parsed: Dict[str, object],
+                                report: VerifyReport) -> None:
+    """The live stream vs the final metrics artifact.
+
+    Every streamed snapshot's counters must stay at or below the final
+    ``service-metrics.json`` snapshot (counters are monotonic), and when
+    the stream's last record is the shutdown ``final`` record its merged
+    counters must equal the final artifact's exactly — both are built
+    from the same registries after the drain.
+    """
+    stream = parsed.get("service_metrics_stream")
+    metrics = parsed.get("service_metrics")
+    if not stream or not isinstance(metrics, dict):
+        return
+    final_snapshot = metrics.get("snapshot")
+    if not isinstance(final_snapshot, dict):
+        report.add("metrics_stream", False,
+                   "service-metrics.json carries no merged snapshot")
+        return
+    final_counters = final_snapshot.get("counters", {})
+    problems = []
+    for record in stream:
+        for name, value in record["merged"]["counters"].items():
+            # shard.* counters are per-incarnation (respawns reset
+            # them); only server.* counters are bounded by the final.
+            if not name.startswith("server."):
+                continue
+            if value > final_counters.get(name, 0):
+                problems.append(
+                    f"seq {record['seq']}: {name}={value} exceeds final "
+                    f"{final_counters.get(name, 0)}")
+    last = stream[-1]
+    if last.get("kind") == "final" \
+            and last["merged"]["counters"] != final_counters:
+        problems.append("final stream record disagrees with "
+                        "service-metrics.json counters")
+    if problems:
+        report.add("metrics_stream", False, "; ".join(problems[:3]))
+    else:
+        report.add("metrics_stream", True,
+                   f"{len(stream)} streamed snapshot(s) consistent with "
+                   f"final service-metrics.json")
 
 
 def _cross_check_ingest(parsed: Dict[str, object],

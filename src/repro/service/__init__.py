@@ -34,7 +34,8 @@ from .replay import replay_records, replay_run, write_replay
 from .server import PredictionServer, latency_summary, serve
 from .shard import ShardCore, shard_main
 from .state import (
-    JOURNAL_SCHEMA, SERVICE_METRICS_SCHEMA, SHEDS_SCHEMA, TENANTS_SCHEMA,
+    JOURNAL_SCHEMA, METRICS_STREAM_SCHEMA, SERVICE_METRICS_SCHEMA,
+    SHEDS_SCHEMA, TENANTS_SCHEMA,
     ShardJournal, TenantMeta, TenantState, TenantStore,
     read_service_journal, valid_tenant,
 )
@@ -43,6 +44,7 @@ __all__ = [
     "CircuitBreaker",
     "JOURNAL_SCHEMA",
     "MAX_FRAME_BYTES",
+    "METRICS_STREAM_SCHEMA",
     "PredictionServer",
     "SERVICE_METRICS_SCHEMA",
     "SHEDS_SCHEMA",

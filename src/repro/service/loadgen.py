@@ -24,10 +24,10 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
+from ..runtime.metrics import LogHistogram
 from ..workloads.program import WorkloadConfig, generate_trace
 from ..workloads.trace import Trace, TraceMetadata
 from .client import ServiceClient
-from .server import latency_summary
 
 #: JSON schema identifier of the loadgen summary.
 LOADGEN_SCHEMA = "repro-service-loadgen/1"
@@ -89,7 +89,9 @@ class _Totals:
         self.backpressure_hints = 0
         self.inconsistencies: List[str] = []
         self.sheds_by_reason: Dict[str, int] = {}
-        self.latencies: List[float] = []
+        # Bounded sketch, not a per-batch float list: a long soak stays
+        # O(buckets) and the summary keys are unchanged (5% error bound).
+        self.latency_hist = LogHistogram()
 
 
 def _drive_tenant(
@@ -128,7 +130,7 @@ def _drive_tenant(
         elapsed = time.perf_counter() - began
         with totals.lock:
             totals.sent += 1
-            totals.latencies.append(elapsed)
+            totals.latency_hist.observe(elapsed)
             if reply.get("status") == "ok":
                 totals.ok += 1
                 if reply.get("applied"):
@@ -247,7 +249,7 @@ def run_loadgen(
         "retries": sum(c.retries for c in clients),
         "breaker_opens": sum(c.breaker.opens for c in clients),
         "breaker_waits": sum(c.breaker_waits for c in clients),
-        "latency": latency_summary(totals.latencies),
+        "latency": totals.latency_hist.summary(),
         "wall_s": round(wall, 3),
         "events_per_sec": round(totals.events_applied / wall, 1)
         if wall > 0 else 0.0,

@@ -31,6 +31,17 @@ tenants (``tenants-<k>.json`` merged into ``tenants.json``), writes
 ``service-metrics.json`` (latency percentiles, queue depths, shed and
 respawn counters) and a ``repro-manifest/1`` covering all of it, so
 ``repro verify`` treats a serving run exactly like a batch run.
+
+**Live metrics.**  Latency and queue depth are tracked in bounded
+:class:`~repro.runtime.metrics.LogHistogram` sketches — O(buckets)
+memory however long the server runs, percentiles within the documented
+5% relative-error bound.  Shards push ``repro-metrics-snapshot/1``
+snapshots every ``stats_interval`` seconds; the server merges them with
+its own ``server.*`` snapshot and (a) appends one fsync'd line per tick
+to ``metrics-stream.jsonl`` (schema ``repro-service-metrics-stream/1``,
+torn-tail tolerant like the trace log) and (b) serves the merged
+snapshot in every ``stats`` response — the surface behind ``repro
+stats`` and ``repro top``.
 """
 
 from __future__ import annotations
@@ -46,13 +57,15 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 from ..runtime import chaos
+from ..runtime.metrics import LogHistogram, MetricsRegistry, merge_snapshots
 from ..runtime.scheduler import POISONED, Scheduler, WorkUnit
 from ..runtime.telemetry import Tracer, TraceLogWriter
 from ..runtime.verify import write_manifest
 from .protocol import read_frame, shard_for, write_frame
 from .shard import shard_main, snapshot_path, journal_path
 from .state import (
-    SERVICE_METRICS_SCHEMA, SHEDS_SCHEMA, TENANTS_SCHEMA, valid_tenant,
+    METRICS_STREAM_SCHEMA, SERVICE_METRICS_SCHEMA, SHEDS_SCHEMA,
+    TENANTS_SCHEMA, valid_tenant,
 )
 
 #: Monitor cadence (liveness + hang checks).
@@ -139,6 +152,8 @@ class PredictionServer:
             shard is declared hung and killed.
         trace_log: optional structured telemetry log path.
         mp_context: multiprocessing context (tests inject ``spawn``).
+        stats_interval: cadence (seconds) of shard snapshot publishing
+            and of the server's ``metrics-stream.jsonl`` appends.
     """
 
     def __init__(
@@ -156,6 +171,7 @@ class PredictionServer:
         batch_deadline: float = 15.0,
         trace_log=None,
         mp_context=None,
+        stats_interval: float = 1.0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -189,8 +205,20 @@ class PredictionServer:
             max_workers=2 * shards + 2, thread_name_prefix="svc-pump")
         self._pump_tasks: List[asyncio.Task] = []
         self._monitor_task: Optional[asyncio.Task] = None
-        self.latencies: List[float] = []
-        self.queue_depths: List[int] = []
+        self.stats_interval = stats_interval
+        # Bounded sketches instead of one-float-per-batch lists: memory
+        # is O(buckets) no matter how long the server runs.
+        self.metrics = MetricsRegistry()
+        self.latency_hist: LogHistogram = self.metrics.histogram(
+            "server.latency_seconds")
+        self.depth_hist: LogHistogram = self.metrics.histogram(
+            "server.queue_depth")
+        #: shard id -> last published repro-metrics-snapshot/1.
+        self._shard_metrics: Dict[int, dict] = {}
+        self._metrics_stream: Optional[TraceLogWriter] = None
+        self._stream_task: Optional[asyncio.Task] = None
+        self._stream_seq = 0
+        self._started_at = time.monotonic()
         self.counters: Dict[str, int] = {
             "accepted": 0, "answered": 0, "shed": 0, "events_applied": 0,
             "events_shed": 0, "duplicates": 0, "accept_faults": 0,
@@ -213,6 +241,10 @@ class PredictionServer:
             self._handle_connection, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
         self._monitor_task = asyncio.ensure_future(self._monitor())
+        self._metrics_stream = TraceLogWriter(
+            self.run_dir / "metrics-stream.jsonl",
+            schema=METRICS_STREAM_SCHEMA, include_pid=False)
+        self._stream_task = asyncio.ensure_future(self._stream_metrics())
         endpoint = {
             "schema": "repro-service-endpoint/1",
             "host": self.host,
@@ -314,7 +346,7 @@ class PredictionServer:
                     "reason": "malformed events request"}
         shard = self._shards[shard_for(tenant, len(self._shards))]
         depth = shard.scheduler.pending_depth + shard.scheduler.in_flight_count
-        self.queue_depths.append(depth)
+        self.depth_hist.observe(depth)
         if self._draining:
             return self._shed(shard, tenant, bid, priority, "shutting_down")
         if shard.failed:
@@ -410,7 +442,7 @@ class PredictionServer:
             if batch is None:
                 return
             latency = time.monotonic() - batch.accepted_at
-            self.latencies.append(latency)
+            self.latency_hist.observe(latency)
             self.counters["answered"] += 1
             if reply.get("applied"):
                 self.counters["events_applied"] += len(batch.pcs)
@@ -449,6 +481,9 @@ class PredictionServer:
             waiter = self._stats_waiters.pop(req_id, None)
             if waiter is not None and not waiter.done():
                 waiter.set_result(payload)
+        elif kind == "metrics":
+            _, shard_id, snapshot = message
+            self._shard_metrics[shard_id] = snapshot
         elif kind == "event":
             _, name, attrs = message
             self.tracer.event(name, **attrs)
@@ -523,7 +558,7 @@ class PredictionServer:
             target=shard_main,
             args=(shard.id, self.spec, str(self.run_dir),
                   shard.request_queue, shard.response_queue, plan_path,
-                  self.max_resident, os.getpid()),
+                  self.max_resident, os.getpid(), self.stats_interval),
             daemon=True,
             name=f"repro-shard-{shard.id}",
         )
@@ -531,6 +566,70 @@ class PredictionServer:
         self._pump_tasks.append(asyncio.ensure_future(
             self._pump_responses(shard, shard.generation,
                                  shard.response_queue)))
+
+    # -- live metrics --------------------------------------------------------
+
+    def _server_snapshot(self) -> dict:
+        """The server's own ``repro-metrics-snapshot/1`` (``server.*``)."""
+        registry = MetricsRegistry()
+        for name, value in self.counters.items():
+            registry.counter(f"server.{name}").inc(value)
+        for reason, count in self.sheds_by_reason.items():
+            registry.counter(f"server.shed.{reason}").inc(count)
+        registry.counter("server.respawns").inc(self._respawns_used)
+        registry.counter("server.connections").inc(self._connections)
+        registry.gauge("server.inflight_batches").set(len(self._batches))
+        registry.gauge("server.shards_failed").set(
+            sum(1 for shard in self._shards if shard.failed))
+        # The histograms are live in self.metrics; union the two
+        # snapshots (names are disjoint, so the merge is a pure union).
+        return merge_snapshots([registry.snapshot(),
+                                self.metrics.snapshot()])
+
+    def merged_snapshot(self) -> dict:
+        """Server snapshot merged with every shard's latest snapshot.
+
+        Shard instruments are ``shard.``-prefixed and server instruments
+        ``server.``-prefixed, so the merge sums same-named instruments
+        *across shards* (fleet-wide totals) and never double-counts a
+        server metric against a shard metric.
+        """
+        return merge_snapshots([self._server_snapshot()]
+                               + [self._shard_metrics[k]
+                                  for k in sorted(self._shard_metrics)])
+
+    def _stream_record(self, kind: str) -> dict:
+        return {
+            "kind": kind,
+            "seq": self._stream_seq,
+            "t": round(time.monotonic() - self._started_at, 3),
+            "merged": self.merged_snapshot(),
+            "shards": {str(k): self._shard_metrics[k]
+                       for k in sorted(self._shard_metrics)},
+        }
+
+    def _stream_write(self, kind: str) -> None:
+        """Append one snapshot line; a failing stream is detached, loudly."""
+        if self._metrics_stream is None:
+            return
+        self._stream_seq += 1
+        try:
+            chaos.active().inject("service.metrics_stream", label=kind)
+            self._metrics_stream.write(self._stream_record(kind))
+        except OSError:
+            stream, self._metrics_stream = self._metrics_stream, None
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - double-fault close
+                pass
+            self.degradations["metrics_stream_off"] = (
+                self.degradations.get("metrics_stream_off", 0) + 1)
+            self.tracer.event("metrics_stream_off", path=str(stream.path))
+
+    async def _stream_metrics(self) -> None:
+        while True:
+            await asyncio.sleep(self.stats_interval)
+            self._stream_write("snapshot")
 
     # -- stats ---------------------------------------------------------------
 
@@ -555,13 +654,20 @@ class PredictionServer:
             except asyncio.TimeoutError:
                 self._stats_waiters.pop(req_id, None)
                 shard_stats.append({"shard": shard.id, "available": False})
+        for payload in shard_stats:
+            snapshot = payload.get("metrics")
+            if isinstance(snapshot, dict):
+                self._shard_metrics[payload["shard"]] = snapshot
         return {
             "status": "ok",
             "counters": dict(self.counters),
             "sheds_by_reason": dict(self.sheds_by_reason),
             "respawns": self._respawns_used,
-            "latency": latency_summary(self.latencies),
+            "latency": self.latency_hist.summary(),
+            "queue_depth": self._depth_summary(),
+            "degradations": dict(self.degradations),
             "shards": shard_stats,
+            "snapshot": self.merged_snapshot(),
         }
 
     # -- shutdown + artifacts ------------------------------------------------
@@ -588,13 +694,19 @@ class PredictionServer:
             self._resolve_shed(batch, "shutting_down")
         if self._monitor_task is not None:
             self._monitor_task.cancel()
+        if self._stream_task is not None:
+            self._stream_task.cancel()
         for shard in self._shards:
             self._stop_shard(shard)
+        self._drain_final_metrics()
         for task in self._pump_tasks:
             task.cancel()
         self._executor.shutdown(wait=False)
         self._merge_snapshots()
         self._sheds_log.close()
+        self._stream_write("final")
+        if self._metrics_stream is not None:
+            self._metrics_stream.close()
         self._write_metrics()
         self._collect_degradations()
         self._write_run_manifest()
@@ -619,7 +731,7 @@ class PredictionServer:
                 target=shard_main,
                 args=(shard.id, self.spec, str(self.run_dir),
                       shard.request_queue, shard.response_queue, None,
-                      self.max_resident, os.getpid()),
+                      self.max_resident, os.getpid(), self.stats_interval),
                 daemon=True,
                 name=f"repro-shard-{shard.id}-snapshot",
             )
@@ -632,6 +744,27 @@ class PredictionServer:
             self.degradations["snapshot_missing"] = (
                 self.degradations.get("snapshot_missing", 0) + 1)
         shard.stopping = True
+
+    def _drain_final_metrics(self) -> None:
+        """Collect the final metrics snapshot each shard pushed on stop.
+
+        The pumps may already be winding down when the stop sentinel's
+        last ``("metrics", ...)`` message lands, so the queues are
+        drained directly; non-metrics stragglers are dropped (their
+        batches were already resolved as ``shutting_down`` sheds).
+        """
+        for shard in self._shards:
+            if shard.response_queue is None:
+                continue
+            while True:
+                try:
+                    message = shard.response_queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                except (OSError, ValueError):  # pragma: no cover - closed
+                    break
+                if message[0] == "metrics":
+                    self._shard_metrics[message[1]] = message[2]
 
     def _merge_snapshots(self) -> Path:
         tenants: Dict[str, dict] = {}
@@ -663,20 +796,28 @@ class PredictionServer:
                           + "\n")
         return target
 
+    def _depth_summary(self) -> dict:
+        """Queue-depth max/mean from the sketch (exact: depths are ints)."""
+        if self.depth_hist.count == 0:
+            return {"max": 0, "mean": 0.0}
+        return {
+            "max": int(round(self.depth_hist.max)),
+            "mean": round(self.depth_hist.mean(), 3),
+        }
+
     def _write_metrics(self) -> Path:
-        depths = self.queue_depths
+        # Percentiles come from the bounded histogram now (within the
+        # documented 5% relative-error bound; max is exact); the full
+        # merged snapshot rides along for verify's cross-checks.
         payload = {
             "schema": SERVICE_METRICS_SCHEMA,
             "shards": len(self._shards),
             "counters": dict(self.counters),
             "sheds_by_reason": dict(self.sheds_by_reason),
             "respawns": self._respawns_used,
-            "latency": latency_summary(self.latencies),
-            "queue_depth": {
-                "max": max(depths) if depths else 0,
-                "mean": round(sum(depths) / len(depths), 3) if depths
-                else 0.0,
-            },
+            "latency": self.latency_hist.summary(),
+            "queue_depth": self._depth_summary(),
+            "snapshot": self.merged_snapshot(),
         }
         target = self.run_dir / "service-metrics.json"
         target.write_text(json.dumps(payload, indent=2, sort_keys=True)
@@ -695,6 +836,9 @@ class PredictionServer:
             "service_tenants": self.run_dir / "tenants.json",
             "service_metrics": self.run_dir / "service-metrics.json",
         }
+        stream_path = self.run_dir / "metrics-stream.jsonl"
+        if stream_path.exists():
+            artifacts["service_metrics_stream"] = stream_path
         for shard in self._shards:
             artifacts[f"service_journal.{shard.id}"] = journal_path(
                 self.run_dir, shard.id)

@@ -24,6 +24,15 @@ On a stop sentinel the shard writes its final per-tenant snapshot
 (``tenants-<k>.json``) atomically and exits.  On startup it replays its
 journal, which is also how a respawned shard recovers everything its
 predecessor accepted.
+
+**Observability.**  Every shard owns a
+:class:`~repro.runtime.metrics.MetricsRegistry` whose instruments are
+``shard.``-prefixed (so merging shard snapshots with the server's
+``server.``-prefixed snapshot can never collide).  The loop publishes a
+``("metrics", shard_id, snapshot)`` message every ``metrics_interval``
+seconds — after batches and on idle polls alike — which the server
+merges into its ``metrics-stream.jsonl`` and serves over the ``stats``
+admin frame.
 """
 
 from __future__ import annotations
@@ -40,6 +49,7 @@ from typing import Optional
 from ..errors import ReproError
 from ..runtime import chaos
 from ..runtime.cache import TraceCache
+from ..runtime.metrics import MetricsRegistry
 from ..runtime.telemetry import Tracer
 from .state import (
     ShardJournal, TENANTS_SCHEMA, TenantStore, valid_tenant,
@@ -83,9 +93,13 @@ class ShardCore:
         self.batches = 0
         self.duplicates = 0
         self.replayed = len(self.journal.replayed)
+        self.metrics = MetricsRegistry()
+        self.metrics.counter("shard.replayed").inc(self.replayed)
         for record in self.journal.replayed:
             self.store.replay_batch(record["tenant"], record["bid"],
                                     record["pcs"], record["targets"])
+        self._synced = {"evictions": 0, "reloads": 0}
+        self._sync_metrics()
 
     def handle(self, tenant: str, bid: int, pcs, targets,
                want_predictions: bool = False) -> dict:
@@ -110,22 +124,48 @@ class ShardCore:
             # Already applied; the earlier response was lost in a crash
             # or timeout.  Answer idempotently from the counters.
             self.duplicates += 1
+            self.metrics.counter("shard.duplicates").inc()
             return {"status": "ok", "applied": False, "batch_misses": 0,
                     **self.store.cumulative(tenant)}
         if not self.journal.append(tenant, bid, pcs, targets):
+            self.metrics.counter("shard.journal_sheds").inc()
             return {"status": "shed", "reason": "journal_unavailable"}
         misses, predictions = self.store.apply_batch(
             tenant, bid, pcs, targets, want_predictions)
         self.batches += 1
+        self.metrics.counter("shard.batches").inc()
+        self.metrics.counter("shard.events").inc(len(pcs))
+        self.metrics.counter("shard.misses").inc(misses)
+        self.metrics.histogram("shard.batch_events").observe(len(pcs))
         reply = {"status": "ok", "applied": True, "batch_misses": misses,
                  **self.store.cumulative(tenant)}
         if predictions is not None:
             reply["predictions"] = predictions
         if plan.inject("tenant.churn", label=tenant) is not None:
             self.store.evict(tenant)
+        self._sync_metrics()
         return reply
 
+    def _sync_metrics(self) -> None:
+        """Mirror the store's cumulative totals into the registry.
+
+        Eviction/reload totals live in the store; the registry counters
+        advance by the delta since the last sync so they stay monotonic.
+        Tenant/residency levels are gauges (merge = fleet-wide sum).
+        """
+        for name in ("evictions", "reloads"):
+            total = getattr(self.store, name)
+            delta = total - self._synced[name]
+            if delta > 0:
+                self.metrics.counter(f"shard.{name}").inc(delta)
+                self._synced[name] = total
+        self.metrics.gauge("shard.tenants").set(len(self.store.meta))
+        self.metrics.gauge("shard.resident").set(self.store.resident_count)
+        self.metrics.gauge("shard.journal_disabled").set(
+            1 if self.journal.disabled else 0)
+
     def stats(self) -> dict:
+        self._sync_metrics()
         return {
             "shard": self.shard_id,
             "batches": self.batches,
@@ -136,7 +176,13 @@ class ShardCore:
             "evictions": self.store.evictions,
             "reloads": self.store.reloads,
             "journal_disabled": self.journal.disabled,
+            "metrics": self.metrics.snapshot(),
         }
+
+    def metrics_snapshot(self) -> dict:
+        """Current ``repro-metrics-snapshot/1`` of this shard."""
+        self._sync_metrics()
+        return self.metrics.snapshot()
 
     def write_snapshot(self) -> Path:
         """Atomically write the final per-tenant state snapshot."""
@@ -167,6 +213,7 @@ def shard_main(
     chaos_plan_path: Optional[str],
     max_resident: int,
     parent_pid: int,
+    metrics_interval: float = 1.0,
 ) -> None:
     """Process entry point: replay the journal, then serve the queue.
 
@@ -174,7 +221,8 @@ def shard_main(
     targets, want_predictions)``, ``("stats", req_id)``, ``("stop",)``.
     Responses: ``("ok", req_id, reply)``, ``("shed", req_id, reason)``,
     ``("err", req_id, type, message)``, ``("event", name, attrs)``,
-    ``("stats", req_id, payload)``, ``("stopped", shard_id)``.
+    ``("stats", req_id, payload)``, ``("metrics", shard_id, snapshot)``,
+    ``("stopped", shard_id)``.
     """
     if chaos_plan_path:
         # Share the parent's fired-fault tickets, like pool workers do.
@@ -187,7 +235,8 @@ def shard_main(
         response_queue.put(("event", "shard_ready", {
             "shard": shard_id, "replayed": core.replayed,
         }))
-        _shard_loop(core, request_queue, response_queue, parent_pid)
+        _shard_loop(core, request_queue, response_queue, parent_pid,
+                    metrics_interval)
     except Exception as exc:  # pragma: no cover - crash diagnostics
         response_queue.put(("event", "shard_error", {
             "shard": shard_id,
@@ -201,17 +250,32 @@ def shard_main(
 
 
 def _shard_loop(core: ShardCore, request_queue, response_queue,
-                parent_pid: int) -> None:
+                parent_pid: int, metrics_interval: float = 1.0) -> None:
     journal_was_disabled = False
+    last_publish = time.monotonic()
+
+    def maybe_publish() -> None:
+        # Periodic snapshot to the server — after batches and on idle
+        # polls alike, so a quiet shard still reports its gauges.
+        nonlocal last_publish
+        now = time.monotonic()
+        if now - last_publish >= metrics_interval:
+            last_publish = now
+            response_queue.put(("metrics", core.shard_id,
+                                core.metrics_snapshot()))
+
     while True:
         try:
             message = request_queue.get(timeout=_POLL_SECONDS)
         except queue.Empty:
             if os.getppid() != parent_pid:
                 return  # orphaned: the server died without stopping us
+            maybe_publish()
             continue
         kind = message[0]
         if kind == "stop":
+            response_queue.put(("metrics", core.shard_id,
+                                core.metrics_snapshot()))
             core.write_snapshot()
             response_queue.put(("stopped", core.shard_id))
             return
@@ -225,7 +289,10 @@ def _shard_loop(core: ShardCore, request_queue, response_queue,
         except ReproError as exc:
             response_queue.put(("err", req_id, type(exc).__name__, str(exc)))
             continue
-        reply["shard_seconds"] = round(time.perf_counter() - started, 6)
+        elapsed = time.perf_counter() - started
+        core.metrics.histogram("shard.batch_seconds").observe(elapsed)
+        maybe_publish()
+        reply["shard_seconds"] = round(elapsed, 6)
         if reply["status"] == "shed":
             response_queue.put(("shed", req_id, reply["reason"]))
         else:

@@ -65,6 +65,9 @@ TENANTS_SCHEMA = "repro-service-tenants/1"
 #: JSON schema identifier of the serving metrics artifact.
 SERVICE_METRICS_SCHEMA = "repro-service-metrics/1"
 
+#: JSON schema identifier of the live metrics stream (metrics-stream.jsonl).
+METRICS_STREAM_SCHEMA = "repro-service-metrics-stream/1"
+
 #: Tenant names double as cache keys and journal fields; keep them tame.
 TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 

@@ -95,6 +95,66 @@ class TestServeEndToEnd:
         assert main(["verify", str(run_dir),
                      "--against", str(tmp_path / "replay")]) == 4
 
+    def test_live_stats_top_and_metrics_stream(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        process, info = _start_server(run_dir, "--stats-interval", "0.2")
+        try:
+            run_loadgen(info["host"], info["port"], tenants=4, batches=3,
+                        batch_events=24, concurrency=2)
+
+            # One-shot console against the live server: tables, then the
+            # raw merged snapshot (validated on receipt by fetch_stats).
+            snapshot_out = tmp_path / "snapshot.json"
+            assert main(["stats", "--endpoint",
+                         str(run_dir / "endpoint.json"),
+                         "--out", str(snapshot_out)]) == 0
+            tables = capsys.readouterr().out
+            assert "server" in tables and "shards" in tables
+            snapshot = json.loads(snapshot_out.read_text())
+            assert snapshot["schema"] == "repro-metrics-snapshot/1"
+            assert snapshot["counters"]["server.accepted"] >= 12
+            assert snapshot["counters"]["shard.events"] >= 1
+            assert "server.latency_seconds" in snapshot["histograms"]
+
+            # Three fast dashboard frames; the later ones carry rates.
+            assert main(["top", "--endpoint", str(run_dir / "endpoint.json"),
+                         "--interval", "0.05", "--iterations", "3",
+                         "--plain"]) == 0
+            frames = capsys.readouterr().out
+            assert frames.count("repro top") == 3
+
+            run_loadgen(info["host"], info["port"], tenants=0,
+                        concurrency=1, shutdown=True)
+            process.communicate(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()
+        assert process.returncode == 0
+
+        # The streamed artifact must parse, verify, and agree with the
+        # final service-metrics.json (the verify cross-check).
+        stream_path = run_dir / "metrics-stream.jsonl"
+        assert stream_path.is_file()
+        from repro.runtime.telemetry import read_trace_log
+        from repro.service.state import METRICS_STREAM_SCHEMA
+        records = read_trace_log(stream_path, schema=METRICS_STREAM_SCHEMA)
+        assert records and records[-1]["kind"] == "final"
+        seqs = [record["seq"] for record in records]
+        assert seqs == sorted(seqs) and len(set(seqs)) == len(seqs)
+        final = json.loads((run_dir / "service-metrics.json").read_text())
+        assert records[-1]["merged"]["counters"] \
+            == final["snapshot"]["counters"]
+        assert main(["verify", str(run_dir)]) == 0
+
+    def test_stats_against_dead_server_fails_cleanly(self, tmp_path):
+        endpoint = tmp_path / "endpoint.json"
+        endpoint.write_text(json.dumps({"host": "127.0.0.1", "port": 1}))
+        # Connection refused is a clean classified exit, not a traceback.
+        assert main(["stats", "--endpoint", str(endpoint)]) in (1, 4)
+        # And no --port/--endpoint at all is a usage error (exit 2).
+        assert main(["stats"]) == 2
+
     def test_sigint_mid_stream_exits_4_without_manifest(self, tmp_path):
         run_dir = tmp_path / "run"
         process, info = _start_server(run_dir)

@@ -69,6 +69,22 @@ def summarize_metrics(data: dict) -> str:
             ["trace source", "loads"],
             [[source, count] for source, count in sorted(loads.items())],
             title="trace loads"))
+    counters = data.get("counters", {})
+    if counters:
+        degraded = {name: count for name, count in counters.items()
+                    if name in DEGRADATION_EVENTS}
+        ordinary = {name: count for name, count in counters.items()
+                    if name not in DEGRADATION_EVENTS}
+        if ordinary:
+            blocks.append(format_table(
+                ["counter", "count"],
+                [[name, count] for name, count in sorted(ordinary.items())],
+                title="tracer counters (spans + events)"))
+        if degraded:
+            blocks.append(format_table(
+                ["degradation counter", "count"],
+                [[name, count] for name, count in sorted(degraded.items())],
+                title="degradation counters"))
     degradations = data.get("degradations", {})
     if degradations:
         blocks.append(format_table(
