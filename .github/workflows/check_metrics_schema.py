@@ -31,14 +31,24 @@ Each argument is dispatched on its embedded schema identifier:
   merged + per-shard snapshots per record, monotonic ``server.*``
   counters, torn final line tolerated);
 * ``repro-bench-trend/1`` — a ``tools/bench_trend.py`` history file
-  (header line, one run record per line with a numeric metrics map).
+  (header line, one run record per line with a numeric metrics map);
+* ``repro-shard-snapshot/1`` — a shard recovery checkpoint (whole-payload
+  CRC32, per-tenant digests re-derived from the stored chain link +
+  counters, batch bounds and base64 stream columns consistent with the
+  counters and with the covered journal watermark);
+* ``repro-bench-recovery/1`` — a ``tools/bench_recovery.py`` artifact
+  (per-size points with internally consistent speedups, headline
+  matching the largest point).
 """
 
+import base64
 import hashlib
 import json
 import math
 import os
+import struct
 import sys
+import zlib
 
 METRICS_SCHEMA = "repro-run-metrics/2"
 TRACE_LOG_SCHEMA = "repro-trace-log/1"
@@ -49,6 +59,8 @@ BENCH_KERNEL_SCHEMA = "repro-bench-kernel/1"
 SNAPSHOT_SCHEMA = "repro-metrics-snapshot/1"
 METRICS_STREAM_SCHEMA = "repro-service-metrics-stream/1"
 BENCH_TREND_SCHEMA = "repro-bench-trend/1"
+SHARD_SNAPSHOT_SCHEMA = "repro-shard-snapshot/1"
+BENCH_RECOVERY_SCHEMA = "repro-bench-recovery/1"
 MANIFEST_KINDS = {
     "journal": "repro-checkpoint/1",
     "metrics": METRICS_SCHEMA,
@@ -61,12 +73,13 @@ MANIFEST_KINDS = {
     "service_tenants": "repro-service-tenants/1",
     "service_metrics": "repro-service-metrics/1",
     "service_metrics_stream": METRICS_STREAM_SCHEMA,
+    "shard_snapshot": SHARD_SNAPSHOT_SCHEMA,
 }
 DEGRADATION_EVENTS = {
     "cache_fallback", "serial_fallback", "checkpoint_off", "telemetry_off",
     # Serving-path degradations (manifest.json of a `repro serve` run).
     "shard_respawn", "shard_failed", "service_journal_off",
-    "snapshot_missing", "metrics_stream_off",
+    "snapshot_missing", "metrics_stream_off", "checkpoint_fallback",
 }
 CAUSES = {"cold", "capacity", "conflict", "training", "metapredictor",
           "unknown"}
@@ -444,6 +457,84 @@ def check_bench_trend(path: str) -> None:
           f"({runs} runs, {len(metric_names)} metrics tracked)")
 
 
+def check_shard_snapshot(path: str) -> None:
+    data = json.load(open(path))
+    assert data["schema"] == SHARD_SNAPSHOT_SCHEMA, data.get("schema")
+    scrubbed = {key: value for key, value in data.items() if key != "crc32"}
+    canonical = json.dumps(scrubbed, sort_keys=True,
+                           separators=(",", ":")).encode("utf-8")
+    assert data.get("crc32") == zlib.crc32(canonical) & 0xFFFFFFFF, \
+        "whole-payload CRC mismatch"
+    covered = data["journal_records"]
+    assert isinstance(covered, int) and covered >= 0, covered
+    assert isinstance(data.get("shard"), int), data.get("shard")
+    assert isinstance(data.get("spec"), str) and data["spec"], "missing spec"
+    tenants = data["tenants"]
+    assert isinstance(tenants, dict), "tenants is not an object"
+    total_batches = 0
+    for tenant, entry in tenants.items():
+        where = f"tenant {tenant!r}"
+        chain = bytes.fromhex(entry["chain"])
+        assert len(chain) == 32, f"{where}: chain link not 32 bytes"
+        counters = struct.pack("<QQQ", entry["seq"], entry["events"],
+                               entry["misses"])
+        derived = hashlib.sha256(chain + counters).hexdigest()
+        assert entry["digest"] == derived, \
+            f"{where}: digest does not match chain + counters"
+        bounds = entry["bounds"]
+        assert len(bounds) == entry["seq"], \
+            f"{where}: {len(bounds)} bounds for {entry['seq']} batches"
+        assert sum(count for _, count in bounds) == entry["events"], \
+            f"{where}: bounds do not sum to the event count"
+        if bounds:
+            assert bounds[-1][0] == entry["last_bid"], \
+                f"{where}: final bound bid != last_bid"
+        for column in ("pcs", "targets"):
+            raw = base64.b64decode(entry[column].encode("ascii"),
+                                   validate=True)
+            assert len(raw) % 4 == 0, f"{where}: torn {column} column"
+            assert len(raw) // 4 == entry["events"], \
+                f"{where}: {column} holds {len(raw) // 4} events, " \
+                f"counters say {entry['events']}"
+        blob = entry.get("predictor")
+        assert blob is None or isinstance(blob, str), \
+            f"{where}: predictor blob"
+        total_batches += entry["seq"]
+    assert total_batches == covered, \
+        f"tenants hold {total_batches} batches, journal_records says " \
+        f"{covered}"
+    print(f"{path}: valid {SHARD_SNAPSHOT_SCHEMA} "
+          f"(shard {data['shard']}, {len(tenants)} tenants, "
+          f"{covered} records covered, CRC + digests verified)")
+
+
+def check_bench_recovery(path: str) -> None:
+    data = json.load(open(path))
+    assert data["schema"] == BENCH_RECOVERY_SCHEMA, data.get("schema")
+    points = data["points"]
+    assert isinstance(points, list) and points, "no measurement points"
+    last_total = 0
+    for point in points:
+        assert point["total_batches"] > last_total, \
+            "points must grow in journal length"
+        last_total = point["total_batches"]
+        assert 0 < point["tail_events"] <= point["total_events"], point
+        assert point["snapshot_recovery_s"] > 0.0, point
+        assert point["full_replay_s"] > 0.0, point
+        derived = point["full_replay_s"] / point["snapshot_recovery_s"]
+        assert abs(point["speedup"] - derived) <= 0.05 * derived + 0.01, \
+            f"speedup {point['speedup']} vs derived {derived:.2f}"
+    headline = data["headline"]
+    assert headline["speedup_vs_full_replay"] == points[-1]["speedup"], \
+        "headline speedup must come from the largest point"
+    assert headline["snapshot_recovery_s"] \
+        == points[-1]["snapshot_recovery_s"], "headline recovery time"
+    print(f"{path}: valid {BENCH_RECOVERY_SCHEMA} "
+          f"({len(points)} points, "
+          f"{headline['speedup_vs_full_replay']}x at "
+          f"{points[-1]['total_events']} events)")
+
+
 def check_artifact(path: str) -> None:
     """Dispatch one artifact to its checker by embedded schema id."""
     with open(path) as handle:
@@ -475,6 +566,10 @@ def check_artifact(path: str) -> None:
             check_bench_kernel(path)
         elif schema == SNAPSHOT_SCHEMA:
             check_snapshot(path)
+        elif schema == SHARD_SNAPSHOT_SCHEMA:
+            check_shard_snapshot(path)
+        elif schema == BENCH_RECOVERY_SCHEMA:
+            check_bench_recovery(path)
         else:
             raise AssertionError(
                 f"{path}: unrecognised artifact schema {schema!r}")

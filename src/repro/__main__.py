@@ -364,6 +364,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         respawn_budget=args.respawn_budget,
         batch_deadline=args.batch_deadline, trace_log=args.trace_log,
         stats_interval=args.stats_interval,
+        checkpoint_interval=args.checkpoint_interval,
     )
 
     async def _run() -> int:
@@ -635,6 +636,12 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="cadence of shard metrics snapshots and of "
                             "metrics-stream.jsonl appends (default: 1)")
+    serve.add_argument("--checkpoint-interval", type=int, default=256,
+                       metavar="BATCHES",
+                       help="applied batches between shard recovery "
+                            "checkpoints (repro-shard-snapshot/1) and "
+                            "journal compactions; 0 disables "
+                            "checkpointing (default: 256)")
     serve.add_argument("--chaos-seed", type=int, default=None, metavar="N",
                        help="arm a deterministic service fault plan "
                             "(shard crashes/stalls, connection faults, "

@@ -33,6 +33,11 @@ point              fired from                   modes
 ``service.slow_shard`` service shard, per batch ``hang`` (sleep)
 ``tenant.churn``   service shard, per batch     ``evict`` (park tenant state)
 ``service.metrics_stream`` metrics-stream append ``io_error`` (EIO)
+``service.compact`` shard checkpoint+compaction ``crash`` (SIGKILL after
+                                                step ``arg`` of the
+                                                compaction sequence)
+``service.checkpoint`` checkpoint load (recovery) ``corrupt`` (flip a byte
+                                                of the checkpoint pre-read)
 ================== ============================ ===========================
 
 Faults raising :class:`~repro.errors.FaultInjectedError` are
@@ -83,8 +88,17 @@ INJECTION_POINTS: Dict[str, Tuple[str, ...]] = {
     "tenant.churn": ("evict",),            # force-evict tenant state to the cache
     # EIO on a metrics-stream append: the server must detach the stream
     # (metrics_stream_off degradation), never die.  Catalog-only — not in
-    # SERVICE_POINTS, so fixed --chaos-seed plans stay byte-stable.
+    # SERVICE_POINTS: the stream is an observability side channel, not a
+    # state-carrying artifact, so soaks opt in explicitly.
     "service.metrics_stream": ("io_error",),
+    # -- checkpoint/compaction points (DESIGN.md §3.14) -------------------
+    # SIGKILL after step `arg` (0..4) of the compaction sequence: the
+    # respawned shard must recover bit-identically from whichever side
+    # of the crash the checkpoint/journal renames landed on.
+    "service.compact": ("crash",),
+    # Flip a byte of a checkpoint before recovery reads it: CRC/digest
+    # validation must quarantine it and salvage (checkpoint_fallback).
+    "service.checkpoint": ("corrupt",),
 }
 
 #: The batch-CLI subset of the catalog: what :meth:`ChaosPlan.generate`
@@ -107,6 +121,8 @@ SERVICE_POINTS: Tuple[str, ...] = (
     "service.accept",
     "service.shard_exit",
     "service.slow_shard",
+    "service.compact",
+    "service.checkpoint",
     "tenant.churn",
     "journal.append",
     "telemetry.write",
@@ -266,6 +282,10 @@ class ChaosPlan:
             arg: Optional[float] = None
             if mode == "hang":
                 arg = round(rng.uniform(0.2, 2.0), 3)
+            elif point == "service.compact":
+                # crash_after_step: which completed compaction step the
+                # SIGKILL lands after (see shard.COMPACTION_STEPS).
+                arg = rng.randint(0, 4)
             faults.append(FaultSpec(point, mode, match=match, times=times,
                                     arg=arg))
         return cls(faults, seed=seed)

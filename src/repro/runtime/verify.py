@@ -63,6 +63,9 @@ ARTIFACT_SCHEMAS: Dict[str, str] = {
     "service_tenants": "repro-service-tenants/1",
     "service_metrics": "repro-service-metrics/1",
     "service_metrics_stream": "repro-service-metrics-stream/1",
+    # shard recovery checkpoints (DESIGN.md §3.14), manifested as
+    # shard_snapshot.<n> — one per shard that checkpointed.
+    "shard_snapshot": "repro-shard-snapshot/1",
 }
 
 
@@ -279,13 +282,28 @@ def _check_artifact_schema(kind: str, path: Path,
                        f"site(s), {len(parsed.targets)} target(s)")
             return parsed
         if base == "service_journal":
-            from ..service.state import read_service_journal
+            from ..service.state import journal_base, read_service_journal
 
             header, records = read_service_journal(path)
+            journal_base(header, str(path))  # fail fast on a bad base
+            compacted = header.get("base", 0)
             report.add(f"format:{kind}", True,
                        f"shard {header.get('shard')}: "
-                       f"{len(records)} accepted batch(es)")
+                       f"{len(records)} accepted batch(es)"
+                       + (f", {compacted} compacted away"
+                          if compacted else ""))
             return {"header": header, "records": records}
+        if base == "shard_snapshot":
+            from ..service.checkpoint import load_checkpoint
+
+            loaded = load_checkpoint(path)
+            payload = loaded["payload"]
+            report.add(f"format:{kind}", True,
+                       f"shard {payload.get('shard')}: covers "
+                       f"{payload['journal_records']} record(s), "
+                       f"{len(payload['tenants'])} tenant(s), CRC + "
+                       f"digest chains verified")
+            return {"payload": payload}
         if base == "service_sheds":
             from ..service.state import SHEDS_SCHEMA
             from .telemetry import read_trace_log
@@ -640,6 +658,59 @@ def _cross_check_ingest(parsed: Dict[str, object],
                    f"manifested source event counts")
 
 
+def _service_record_sets(parsed: Dict[str, object],
+                         report: VerifyReport) -> Optional[dict]:
+    """Assemble per-shard logical record sequences for the replay oracle.
+
+    Returns ``{"plain": {shard: records}, "composed": {shard: records}
+    | None}``: ``plain`` is the from-genesis sequence every shard can
+    prove (journal records, prefixed by checkpoint base records where
+    the journal was compacted), ``composed`` additionally routes
+    *every* checkpointed shard through (checkpoint + tail) so the
+    checkpoint itself is proven against ``tenants.json`` even when the
+    full journal is still available.  ``None`` (with a failed report
+    line) when a compacted journal has no checkpoint covering it.
+    """
+    from ..service.checkpoint import base_records
+    from ..service.state import journal_base
+
+    journals = {kind: data for kind, data in parsed.items()
+                if base_kind(kind) == "service_journal"}
+    checkpoints = {}
+    for kind, data in parsed.items():
+        if base_kind(kind) == "shard_snapshot":
+            checkpoints[data["payload"].get("shard")] = data["payload"]
+    plain: Dict[int, list] = {}
+    composed: Dict[int, list] = {}
+    any_composed = False
+    for index, data in enumerate(journals.values()):
+        header, records = data["header"], data["records"]
+        shard = header.get("shard", index)
+        base = journal_base(header, f"service_journal.{shard}")
+        total = base + len(records)
+        payload = checkpoints.get(shard)
+        covered = payload["journal_records"] if payload else None
+        if payload is not None and not base <= covered <= total:
+            report.add("service:replay", False,
+                       f"shard {shard}: checkpoint covers {covered} "
+                       f"record(s) but the journal segment spans "
+                       f"[{base}, {total})")
+            return None
+        if base and payload is None:
+            report.add("service:replay", False,
+                       f"shard {shard}: {base} record(s) compacted away "
+                       f"but no shard_snapshot artifact covers them")
+            return None
+        if payload is not None:
+            composed[shard] = (base_records(payload)
+                               + records[covered - base:])
+            any_composed = True
+            plain[shard] = composed[shard] if base else records
+        else:
+            plain[shard] = composed[shard] = records
+    return {"plain": plain, "composed": composed if any_composed else None}
+
+
 def _cross_check_service(parsed: Dict[str, object],
                          report: VerifyReport) -> None:
     """The serving contract: snapshot digests == offline journal replay.
@@ -647,9 +718,13 @@ def _cross_check_service(parsed: Dict[str, object],
     Replays every manifested shard journal's accepted batches through
     fresh predictors and compares the resulting per-tenant digests with
     the ``tenants.json`` snapshot the live server wrote — through any
-    crashes, respawns, and evictions the run survived.  Also proves no
-    accepted batch was silently double-counted: replayed event totals
-    must equal the snapshot's.
+    crashes, respawns, evictions, and journal compactions the run
+    survived.  Compacted journals are re-prefixed with the covering
+    checkpoint's base records; where a checkpoint exists the
+    (checkpoint + tail) composition is *also* replayed and must land on
+    the same digests, proving the checkpoint equivalent to the history
+    it replaced.  Also proves no accepted batch was silently
+    double-counted: replayed event totals must equal the snapshot's.
     """
     snapshot = parsed.get("service_tenants")
     journals = {kind: data for kind, data in parsed.items()
@@ -659,12 +734,28 @@ def _cross_check_service(parsed: Dict[str, object],
     from ..service.replay import replay_records
 
     spec = snapshot.get("spec")
-    shard_records = {
-        data["header"].get("shard", index): data["records"]
-        for index, data in enumerate(journals.values())
-    }
+    record_sets = _service_record_sets(parsed, report)
+    if record_sets is None:
+        return
+    shard_records = record_sets["plain"]
     try:
         replayed = replay_records(spec, shard_records)
+        if record_sets["composed"] is not None:
+            composed = replay_records(spec, record_sets["composed"])
+            drift = [tenant for tenant in sorted(set(replayed)
+                                                 | set(composed))
+                     if replayed.get(tenant, {}).get("digest")
+                     != composed.get(tenant, {}).get("digest")]
+            if drift:
+                report.add(
+                    "service:checkpoint_replay", False,
+                    f"checkpoint + tail replay diverges from journal "
+                    f"replay for: {', '.join(drift[:3])}")
+            else:
+                report.add(
+                    "service:checkpoint_replay", True,
+                    f"checkpoint + tail replay bit-identical to journal "
+                    f"replay for {len(composed)} tenant(s)")
     except Exception as exc:
         report.add("service:replay", False,
                    f"{type(exc).__name__}: {exc}")

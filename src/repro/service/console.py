@@ -65,8 +65,14 @@ def _hist_quantiles(snapshot: dict, name: str) -> tuple:
     return (_ms(hist.quantile(0.5)), _ms(hist.quantile(0.99)), hist.count)
 
 
-def shard_rows(stats: dict, rates: Optional[Dict[int, float]] = None) -> list:
-    """Per-shard table rows from a stats response (rates are optional)."""
+def shard_rows(stats: dict, rates: Optional[Dict[int, float]] = None,
+               respawned: Optional[set] = None) -> list:
+    """Per-shard table rows from a stats response (rates are optional).
+
+    ``respawned`` names shards whose counters went backwards since the
+    last poll (a respawn reset them); they render state ``respawned``
+    for that one interval instead of a garbage negative rate.
+    """
     rows = []
     for payload in stats.get("shards", []):
         shard_id = payload.get("shard")
@@ -78,8 +84,11 @@ def shard_rows(stats: dict, rates: Optional[Dict[int, float]] = None) -> list:
         rate = "-"
         if rates is not None and shard_id in rates:
             rate = f"{rates[shard_id]:,.0f}"
+        state = "up"
+        if respawned is not None and shard_id in respawned:
+            state = "respawned"
         rows.append([
-            shard_id, "up", payload.get("queue_depth", 0),
+            shard_id, state, payload.get("queue_depth", 0),
             payload.get("batches", 0), rate,
             f"{payload.get('resident', 0)}/{payload.get('tenants', 0)}",
             payload.get("evictions", 0), p50, p99,
@@ -169,9 +178,13 @@ def run_top(host: str, port: int, interval: float = 1.0,
     """``repro top``: redraw a live dashboard until ^C (or ``iterations``).
 
     Event rates come from ``shard.events`` counter deltas between
-    successive polls; the first frame shows dashes.  A poll that fails
-    (server shutting down, transport fault) ends the loop with exit 1 —
-    a dashboard has nothing to show on a dead server.
+    successive polls; the first frame shows dashes.  A shard respawn
+    resets its ``shard.*`` counters, making the raw delta negative —
+    those rates are clamped to 0 and the shard shows state
+    ``respawned`` for that one interval rather than a garbage rate.  A
+    poll that fails (server shutting down, transport fault) ends the
+    loop with exit 1 — a dashboard has nothing to show on a dead
+    server.
     """
     stream = sys.stdout if stream is None else stream
     previous_counts: Dict[int, int] = {}
@@ -187,11 +200,19 @@ def run_top(host: str, port: int, interval: float = 1.0,
         now = clock()
         counts = _shard_event_counts(stats)
         rates: Dict[int, float] = {}
+        respawned: set = set()
         if previous_t is not None:
             dt = max(now - previous_t, 1e-9)
             for shard_id, count in counts.items():
                 before = previous_counts.get(shard_id)
-                if before is not None and count >= before:
+                if before is None:
+                    continue
+                if count < before:
+                    # Respawn reset the counters: the delta is
+                    # meaningless, not negative throughput.
+                    rates[shard_id] = 0.0
+                    respawned.add(shard_id)
+                else:
                     rates[shard_id] = (count - before) / dt
         previous_counts, previous_t = counts, now
         if not plain:
@@ -206,7 +227,8 @@ def run_top(host: str, port: int, interval: float = 1.0,
             f"{_ms(latency.get('p50_s', 0.0))} ms, p99 "
             f"{_ms(latency.get('p99_s', 0.0))} ms\n")
         stream.write(format_table(_SHARD_HEADERS,
-                                  shard_rows(stats, rates)) + "\n")
+                                  shard_rows(stats, rates, respawned))
+                     + "\n")
         sheds = stats.get("sheds_by_reason", {})
         if sheds:
             rendered = ", ".join(f"{reason} x{count}"

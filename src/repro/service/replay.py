@@ -4,22 +4,45 @@ A serving run's journals record every accepted batch in accept order.
 Because predictor state is a pure function of the applied stream,
 replaying those batches through fresh predictors must land on exactly
 the per-tenant digests the live server snapshotted — through any number
-of shard crashes, respawns, evictions, and reloads.  ``repro replay``
-materialises that oracle as a ``tenants.json`` of its own, and
-``repro verify`` compares the two (directly via the parsed journals, or
-across run directories via ``--against``).
+of shard crashes, respawns, evictions, reloads, checkpoints, and journal
+compactions.  ``repro replay`` materialises that oracle as a
+``tenants.json`` of its own, and ``repro verify`` compares the two
+(directly via the parsed journals, or across run directories via
+``--against``).
+
+**Compacted runs.**  A journal whose header carries ``base > 0`` no
+longer starts at record zero: the covered prefix was deleted after a
+durable ``repro-shard-snapshot/1`` checkpoint.  Replay then reconstructs
+the full logical record sequence as ``base_records(checkpoint) + tail``
+— the checkpoint's per-tenant batch bounds and stream columns are
+exactly the records it compacted away (see
+:func:`repro.service.checkpoint.base_records`) — so the oracle still
+replays from genesis and still proves the same digests.
+
+**Kernel.**  Replay is the one service path that is *from-reset* by
+construction, so it routes through the offline engine's
+:func:`~repro.sim.engine.resolve_kernel`: specs the vectorized batch
+kernel supports replay as one concatenated stream per tenant (the
+per-batch miss splits are irrelevant — digests cover only cumulative
+misses); everything else falls back silently to the event engine.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core.factory import predictor_from_spec
 from ..errors import ServiceError
+from ..sim.engine import resolve_kernel
+from .checkpoint import (
+    base_records, checkpoint_path, load_checkpoint, prev_checkpoint_path,
+)
 from .shard import journal_path
-from .state import TENANTS_SCHEMA, TenantMeta, read_service_journal
+from .state import (
+    TENANTS_SCHEMA, TenantMeta, journal_base, read_service_journal,
+)
 
 PathLike = Union[str, Path]
 
@@ -27,27 +50,50 @@ PathLike = Union[str, Path]
 def replay_records(
     spec: str,
     shard_records: Dict[int, List[dict]],
+    kernel: str = "auto",
 ) -> Dict[str, dict]:
     """Replay accepted batches -> final per-tenant counters + digests.
 
     ``shard_records`` maps shard id to that shard's accept records in
     journal order (batch order within a tenant is total because one
     shard owns the tenant).  Mirrors the live path exactly: predict +
-    update per event, fold each batch into the running digest.
+    update per event, fold each batch into the running digest.  With
+    ``kernel`` ``"auto"``/``"batch"`` the per-tenant miss totals come
+    from one vectorized pass over the concatenated stream where the
+    spec supports it — bit-identical by the kernel-equivalence contract.
     """
+    chosen, config = "event", None
+    if kernel != "event":
+        probe = predictor_from_spec(spec)
+        chosen, _ = resolve_kernel(probe, kernel=kernel)
+        config = getattr(probe, "config", None)
     tenants: Dict[str, dict] = {}
     for shard_id in sorted(shard_records):
         predictors: Dict[str, object] = {}
         metas: Dict[str, TenantMeta] = {}
+        streams: Dict[str, Tuple[List[int], List[int]]] = {}
         for record in shard_records[shard_id]:
             tenant = record["tenant"]
+            pcs, targets = record["pcs"], record["targets"]
+            if tenant not in metas:
+                metas[tenant] = TenantMeta()
+            if chosen == "batch":
+                metas[tenant].absorb(record["bid"], pcs, targets, 0)
+                tenant_pcs, tenant_targets = streams.setdefault(
+                    tenant, ([], []))
+                tenant_pcs.extend(pcs)
+                tenant_targets.extend(targets)
+                continue
             predictor = predictors.get(tenant)
             if predictor is None:
                 predictor = predictors[tenant] = predictor_from_spec(spec)
-                metas[tenant] = TenantMeta()
-            pcs, targets = record["pcs"], record["targets"]
             misses = predictor.run_trace(pcs, targets)
             metas[tenant].absorb(record["bid"], pcs, targets, misses)
+        if chosen == "batch":
+            from ..sim.kernel import batch_run_trace
+            for tenant, (tenant_pcs, tenant_targets) in streams.items():
+                metas[tenant].misses = batch_run_trace(
+                    config, tenant_pcs, tenant_targets)
         for tenant, meta in metas.items():
             if tenant in tenants:
                 raise ServiceError(
@@ -70,7 +116,49 @@ def find_journals(run_dir: PathLike) -> Dict[int, Path]:
     return journals
 
 
-def replay_run(run_dir: PathLike) -> Tuple[str, Dict[str, dict]]:
+def logical_records(run_dir: PathLike, shard_id: int, header: dict,
+                    records: List[dict]) -> List[dict]:
+    """The full from-genesis record sequence of one (possibly compacted)
+    shard journal: checkpoint base records + the uncovered tail.
+
+    For an uncompacted journal (``base`` 0, no checkpoint) this is just
+    ``records``.  Otherwise the newest checkpoint that validates *and*
+    connects to the journal segment supplies the prefix; with ``base >
+    0`` and no such checkpoint the history is unrecoverable and this
+    raises — exactly the condition the live salvage ladder refuses too.
+    """
+    path = journal_path(Path(run_dir), shard_id)
+    base = journal_base(header, str(path))
+    total = base + len(records)
+    candidates = [checkpoint_path(run_dir, shard_id),
+                  prev_checkpoint_path(run_dir, shard_id)]
+    last_error: Optional[ServiceError] = None
+    for candidate in candidates:
+        if not candidate.exists():
+            continue
+        try:
+            loaded = load_checkpoint(candidate, shard_id=shard_id,
+                                     spec=header.get("spec"))
+            covered = loaded["payload"]["journal_records"]
+            if not base <= covered <= total:
+                raise ServiceError(
+                    f"{candidate}: covers {covered} records but the "
+                    f"journal segment spans [{base}, {total})")
+        except ServiceError as exc:
+            last_error = exc
+            continue
+        return base_records(loaded["payload"]) + records[covered - base:]
+    if base:
+        raise ServiceError(
+            f"{path}: {base} records compacted away and no valid "
+            f"checkpoint covers them"
+            + (f" (last candidate: {last_error})" if last_error else "")
+        )
+    return records
+
+
+def replay_run(run_dir: PathLike,
+               kernel: str = "auto") -> Tuple[str, Dict[str, dict]]:
     """Replay every journal in ``run_dir`` -> (spec, tenants mapping)."""
     journals = find_journals(run_dir)
     if not journals:
@@ -85,8 +173,9 @@ def replay_run(run_dir: PathLike) -> Tuple[str, Dict[str, dict]]:
                 f"{spec!r} from an earlier journal"
             )
         spec = header["spec"]
-        shard_records[shard_id] = records
-    return spec, replay_records(spec, shard_records)
+        shard_records[shard_id] = logical_records(run_dir, shard_id,
+                                                  header, records)
+    return spec, replay_records(spec, shard_records, kernel=kernel)
 
 
 def write_replay(run_dir: PathLike, out_dir: PathLike) -> Path:

@@ -62,6 +62,7 @@ from ..runtime.scheduler import POISONED, Scheduler, WorkUnit
 from ..runtime.telemetry import Tracer, TraceLogWriter
 from ..runtime.verify import write_manifest
 from .protocol import read_frame, shard_for, write_frame
+from .checkpoint import checkpoint_path
 from .shard import shard_main, snapshot_path, journal_path
 from .state import (
     METRICS_STREAM_SCHEMA, SERVICE_METRICS_SCHEMA, SHEDS_SCHEMA,
@@ -154,6 +155,9 @@ class PredictionServer:
         mp_context: multiprocessing context (tests inject ``spawn``).
         stats_interval: cadence (seconds) of shard snapshot publishing
             and of the server's ``metrics-stream.jsonl`` appends.
+        checkpoint_interval: applied batches between shard recovery
+            checkpoints (``repro-shard-snapshot/1``) + journal
+            compactions; 0 disables checkpointing.
     """
 
     def __init__(
@@ -172,6 +176,7 @@ class PredictionServer:
         trace_log=None,
         mp_context=None,
         stats_interval: float = 1.0,
+        checkpoint_interval: int = 0,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -206,6 +211,7 @@ class PredictionServer:
         self._pump_tasks: List[asyncio.Task] = []
         self._monitor_task: Optional[asyncio.Task] = None
         self.stats_interval = stats_interval
+        self.checkpoint_interval = checkpoint_interval
         # Bounded sketches instead of one-float-per-batch lists: memory
         # is O(buckets) no matter how long the server runs.
         self.metrics = MetricsRegistry()
@@ -490,6 +496,12 @@ class PredictionServer:
             if name == "journal_off":
                 self.degradations["service_journal_off"] = (
                     self.degradations.get("service_journal_off", 0) + 1)
+            elif name == "checkpoint_fallback":
+                # A shard salvaged past a corrupt/stale checkpoint on
+                # recovery; survivable, but the manifest must say so.
+                self.degradations["checkpoint_fallback"] = (
+                    self.degradations.get("checkpoint_fallback", 0)
+                    + attrs.get("count", 1))
         elif kind == "stopped":
             shard.stopping = True
 
@@ -558,7 +570,8 @@ class PredictionServer:
             target=shard_main,
             args=(shard.id, self.spec, str(self.run_dir),
                   shard.request_queue, shard.response_queue, plan_path,
-                  self.max_resident, os.getpid(), self.stats_interval),
+                  self.max_resident, os.getpid(), self.stats_interval,
+                  self.checkpoint_interval),
             daemon=True,
             name=f"repro-shard-{shard.id}",
         )
@@ -731,7 +744,8 @@ class PredictionServer:
                 target=shard_main,
                 args=(shard.id, self.spec, str(self.run_dir),
                       shard.request_queue, shard.response_queue, None,
-                      self.max_resident, os.getpid(), self.stats_interval),
+                      self.max_resident, os.getpid(), self.stats_interval,
+                      0),
                 daemon=True,
                 name=f"repro-shard-{shard.id}-snapshot",
             )
@@ -842,6 +856,9 @@ class PredictionServer:
         for shard in self._shards:
             artifacts[f"service_journal.{shard.id}"] = journal_path(
                 self.run_dir, shard.id)
+            snapshot = checkpoint_path(self.run_dir, shard.id)
+            if snapshot.exists():
+                artifacts[f"shard_snapshot.{shard.id}"] = snapshot
         if self.tracer.sink is not None:
             artifacts["trace_log"] = self.tracer.sink.path
         plan = chaos.active()

@@ -6,11 +6,13 @@ stream.  Everything here exploits that.
 
 * :class:`TenantMeta` — the tiny always-resident record per tenant:
   cumulative counters, the last accepted batch id (the idempotency
-  watermark), and a *running* SHA-256 over the accepted stream.  Its
+  watermark), and a *chained* SHA-256 over the accepted stream.  Its
   :meth:`~TenantMeta.digest` is the tenant's state fingerprint: an
   offline replay of the same accepted batches produces the same digest,
   which is how ``repro verify`` proves a served tenant bit-identical to
-  one rebuilt from the journal.
+  one rebuilt from the journal.  The chain link serializes into the
+  ``repro-shard-snapshot/1`` checkpoint, so the fingerprint survives a
+  crash and resumes over the journal tail.
 
 * :class:`TenantState` — the heavy, *evictable* part: the live predictor
   plus the accepted stream columns needed to rebuild it.
@@ -51,7 +53,28 @@ from ..runtime.chaos import active as active_chaos
 from ..runtime.telemetry import NULL_TRACER
 from ..workloads.trace import Trace, TraceMetadata
 
+try:  # optional: only used to widen checkpoint columns quickly
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the toolchain
+    _np = None
+
 PathLike = Union[str, Path]
+
+
+def _widened(values: Sequence[int]) -> array:
+    """``array("L")`` copy of a stream column without a per-int loop.
+
+    Checkpoint columns arrive as ``array("I")``; recovery adopts whole
+    tenants at once, so the elementwise widening is worth vectorizing.
+    """
+    if _np is not None and isinstance(values, array) \
+            and values.typecode == "I":
+        wide = array("L")
+        wide.frombytes(
+            _np.frombuffer(values, dtype=_np.uint32)
+            .astype(_np.uint64).tobytes())
+        return wide
+    return array("L", values)
 
 #: JSON schema identifier of a shard's accepted-batch journal.
 JOURNAL_SCHEMA = "repro-service-journal/1"
@@ -74,6 +97,9 @@ TENANT_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _COUNTERS = struct.Struct("<QQQ")
 _BATCH_HEAD = struct.Struct("<QI")
 
+#: Genesis value of the per-tenant digest chain (see :class:`TenantMeta`).
+CHAIN_GENESIS = b"\x00" * 32
+
 
 def valid_tenant(name: object) -> bool:
     """Whether ``name`` is a usable tenant identifier."""
@@ -81,42 +107,56 @@ def valid_tenant(name: object) -> bool:
 
 
 class TenantMeta:
-    """Always-resident tenant record: counters + running stream hash.
+    """Always-resident tenant record: counters + chained stream hash.
 
-    Survives eviction (it is a few hundred bytes), so a tenant parked in
-    the trace cache still answers duplicate checks and digest queries
-    without being rebuilt.
+    Survives eviction (it is small), so a tenant parked in the trace
+    cache still answers duplicate checks and digest queries without
+    being rebuilt.
+
+    The stream hash is a SHA-256 *chain* rather than one running
+    context: ``chain_{n+1} = sha256(chain_n || header || pcs ||
+    targets)`` with :data:`CHAIN_GENESIS` at the root.  A chain link is
+    32 opaque bytes, so — unlike an in-flight ``hashlib`` context — the
+    whole hash state serializes into a checkpoint and resumes after a
+    crash, which is what makes ``repro-shard-snapshot/1`` possible.
+    ``bounds`` records the ``(bid, events)`` boundary of every accepted
+    batch so a checkpoint can re-synthesize the exact journal records it
+    compacted away.
     """
 
-    __slots__ = ("seq", "events", "misses", "last_bid", "_sha")
+    __slots__ = ("seq", "events", "misses", "last_bid", "bounds", "_chain")
 
     def __init__(self) -> None:
         self.seq = 0          # accepted batches
         self.events = 0       # accepted events
         self.misses = 0       # mispredictions across the accepted stream
         self.last_bid = 0     # idempotency watermark (bids are >= 1)
-        self._sha = hashlib.sha256()
+        self.bounds: List[Tuple[int, int]] = []  # (bid, events) per batch
+        self._chain = CHAIN_GENESIS
 
     def absorb(self, bid: int, pcs: Sequence[int], targets: Sequence[int],
                misses: int) -> None:
-        """Fold one applied batch into the counters and the stream hash."""
-        self._sha.update(_BATCH_HEAD.pack(bid, len(pcs)))
-        self._sha.update(array("I", pcs).tobytes())
-        self._sha.update(array("I", targets).tobytes())
+        """Fold one applied batch into the counters and the hash chain."""
+        step = hashlib.sha256(self._chain)
+        step.update(_BATCH_HEAD.pack(bid, len(pcs)))
+        step.update(array("I", pcs).tobytes())
+        step.update(array("I", targets).tobytes())
+        self._chain = step.digest()
+        self.bounds.append((bid, len(pcs)))
         self.seq += 1
         self.events += len(pcs)
         self.misses += misses
         self.last_bid = bid
 
     def digest(self) -> str:
-        """The tenant's state fingerprint (stream hash + counters).
+        """The tenant's state fingerprint (chained stream hash + counters).
 
         Covers the accepted stream bytes, the batch boundaries, *and* the
         cumulative misprediction count — i.e. both what was applied and
         how the predictor behaved on it.  Replaying the journalled
         batches in order through a fresh predictor reproduces it exactly.
         """
-        closing = self._sha.copy()
+        closing = hashlib.sha256(self._chain)
         closing.update(_COUNTERS.pack(self.seq, self.events, self.misses))
         return closing.hexdigest()
 
@@ -129,6 +169,51 @@ class TenantMeta:
             "digest": self.digest(),
         }
 
+    # -- checkpoint serialization -------------------------------------------
+
+    def to_snapshot(self) -> dict:
+        """Serialize the full meta — chain link included — for a checkpoint."""
+        return {
+            "seq": self.seq,
+            "events": self.events,
+            "misses": self.misses,
+            "last_bid": self.last_bid,
+            "chain": self._chain.hex(),
+            "digest": self.digest(),
+            "bounds": [[bid, count] for bid, count in self.bounds],
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "TenantMeta":
+        """Rebuild a meta from checkpoint fields, self-checking as it goes.
+
+        Raises ``ValueError`` when the fields are internally inconsistent
+        (digest not reproducible from chain + counters, bounds that do
+        not sum to the event count, …) — the salvage ladder treats that
+        exactly like a CRC failure.
+        """
+        meta = cls()
+        meta.seq = int(data["seq"])
+        meta.events = int(data["events"])
+        meta.misses = int(data["misses"])
+        meta.last_bid = int(data["last_bid"])
+        meta.bounds = [(int(bid), int(count)) for bid, count in data["bounds"]]
+        chain = bytes.fromhex(data["chain"])
+        if len(chain) != len(CHAIN_GENESIS):
+            raise ValueError(f"chain link is {len(chain)} bytes, not "
+                             f"{len(CHAIN_GENESIS)}")
+        meta._chain = chain
+        if len(meta.bounds) != meta.seq:
+            raise ValueError(f"{len(meta.bounds)} batch bounds for "
+                             f"{meta.seq} accepted batches")
+        if sum(count for _, count in meta.bounds) != meta.events:
+            raise ValueError("batch bounds do not sum to the event count")
+        if meta.bounds and meta.bounds[-1][0] != meta.last_bid:
+            raise ValueError("final bound bid does not match last_bid")
+        if meta.digest() != data["digest"]:
+            raise ValueError("digest does not match chain + counters")
+        return meta
+
 
 class TenantState:
     """The evictable half of a tenant: live predictor + accepted stream."""
@@ -139,6 +224,16 @@ class TenantState:
         self.predictor = predictor_from_spec(spec)
         self.pcs: array = array("L")
         self.targets: array = array("L")
+
+    @classmethod
+    def restore(cls, predictor, pcs: Sequence[int],
+                targets: Sequence[int]) -> "TenantState":
+        """Adopt an already-warm predictor (a checkpoint's unpickled one)."""
+        state = cls.__new__(cls)
+        state.predictor = predictor
+        state.pcs = _widened(pcs)
+        state.targets = _widened(targets)
+        return state
 
     def apply(
         self,
@@ -200,6 +295,15 @@ class ShardJournal:
     journal (tolerating a torn final line — the signature of a SIGKILL
     mid-append) and truncates to the good prefix before appending again,
     exactly like the checkpoint journal it is modelled on.
+
+    **Compaction.**  The header also carries ``base``: the number of
+    accepted records that preceded this segment and were compacted away
+    after a durable checkpoint covered them.  Record *i* of the file is
+    therefore absolute record ``base + i`` of the shard's history, and
+    :attr:`total_records` is the absolute watermark a checkpoint quotes.
+    A fresh journal has ``base`` 0; :meth:`write_segment` +
+    :meth:`reopen_compacted` implement the rewrite half of
+    :meth:`repro.service.shard.ShardCore.compact`.
     """
 
     def __init__(self, path: PathLike, shard_id: int, spec: str) -> None:
@@ -210,6 +314,8 @@ class ShardJournal:
         self.disabled = False
         #: batches recovered from an existing journal, in accept order.
         self.replayed: List[dict] = []
+        #: absolute record count compacted away before this segment.
+        self.base = 0
         self.path.parent.mkdir(parents=True, exist_ok=True)
         good_bytes = 0
         if self.path.exists() and self.path.stat().st_size:
@@ -221,6 +327,7 @@ class ShardJournal:
                     f"{header.get('shard')!r} spec {header.get('spec')!r}, "
                     f"not shard {shard_id} spec {spec!r}"
                 )
+            self.base = journal_base(header, str(self.path))
         self._stream = open(self.path, "r+b" if good_bytes else "wb")
         self._stream.truncate(good_bytes)
         self._stream.seek(good_bytes)
@@ -229,7 +336,16 @@ class ShardJournal:
                 "schema": JOURNAL_SCHEMA,
                 "shard": shard_id,
                 "spec": spec,
+                "base": 0,
             })
+        #: every live record of this segment, in accept order (absolute
+        #: record ``base + i``); appends extend it, compaction trims it.
+        self.records: List[dict] = list(self.replayed)
+
+    @property
+    def total_records(self) -> int:
+        """Absolute accepted-record watermark (compacted + live)."""
+        return self.base + len(self.records)
 
     def _write_line(self, record: dict) -> None:
         self._stream.write(
@@ -247,16 +363,18 @@ class ShardJournal:
         """
         if self.disabled:
             return False
+        record = {
+            "kind": "accept",
+            "tenant": tenant,
+            "bid": bid,
+            "pcs": list(pcs),
+            "targets": list(targets),
+        }
         try:
             active_chaos().inject("journal.append",
                                   label=f"service:{tenant}")
-            self._write_line({
-                "kind": "accept",
-                "tenant": tenant,
-                "bid": bid,
-                "pcs": list(pcs),
-                "targets": list(targets),
-            })
+            self._write_line(record)
+            self.records.append(record)
             return True
         except OSError:
             self.disabled = True
@@ -266,8 +384,16 @@ class ShardJournal:
         """The tenant's full accepted stream, re-read from this journal.
 
         The cache-miss fallback for reloading an evicted tenant: scans
-        the on-disk journal (safe to read while open for append).
+        the on-disk journal (safe to read while open for append).  Only
+        valid while ``base`` is 0 — once records have been compacted
+        away, the full stream lives in (checkpoint + tail) and
+        :meth:`repro.service.shard.ShardCore.stream_for` must be used.
         """
+        if self.base:
+            raise ServiceError(
+                f"{self.path}: {self.base} records compacted away; the "
+                f"journal alone no longer holds full tenant streams"
+            )
         _, records, _ = _read_journal_bytes(
             self.path.read_bytes(), str(self.path))
         pcs: List[int] = []
@@ -277,6 +403,44 @@ class ShardJournal:
                 pcs.extend(record["pcs"])
                 targets.extend(record["targets"])
         return pcs, targets
+
+    # -- compaction primitives ----------------------------------------------
+
+    def write_segment(self, path: PathLike, base: int) -> None:
+        """Write a compacted copy of this journal (records >= ``base``).
+
+        Fsync'd but *not* adopted: the caller renames it over
+        :attr:`path` and then calls :meth:`reopen_compacted` — the
+        split lets a crash land between any two steps and still leave
+        either the old or the new segment fully intact.
+        """
+        if base < self.base or base > self.total_records:
+            raise ServiceError(
+                f"cannot compact to base {base}: segment covers "
+                f"[{self.base}, {self.total_records})"
+            )
+        keep = self.records[base - self.base:]
+        with open(path, "wb") as sink:
+            header = {
+                "schema": JOURNAL_SCHEMA,
+                "shard": self.shard_id,
+                "spec": self.spec,
+                "base": base,
+            }
+            for record in [header] + keep:
+                sink.write(json.dumps(record, sort_keys=True).encode("utf-8")
+                           + b"\n")
+            sink.flush()
+            os.fsync(sink.fileno())
+
+    def reopen_compacted(self, base: int) -> None:
+        """Adopt the compacted segment now sitting at :attr:`path`."""
+        if not self._stream.closed:
+            self._stream.close()
+        self.records = self.records[base - self.base:]
+        self.base = base
+        self._stream = open(self.path, "r+b")
+        self._stream.seek(0, os.SEEK_END)
 
     def close(self) -> None:
         if not self._stream.closed:
@@ -321,6 +485,14 @@ def _read_journal_bytes(raw: bytes, origin: str) -> Tuple[dict, List[dict], int]
     if not header:
         raise ServiceError(f"{origin}: empty journal")
     return header, records, good
+
+
+def journal_base(header: dict, origin: str) -> int:
+    """The validated ``base`` (compacted-away record count) of a header."""
+    base = header.get("base", 0)
+    if not isinstance(base, int) or isinstance(base, bool) or base < 0:
+        raise ServiceError(f"{origin}: bad journal base {base!r}")
+    return base
 
 
 def read_service_journal(path: PathLike) -> Tuple[dict, List[dict]]:
@@ -384,6 +556,10 @@ class TenantStore:
     def resident_count(self) -> int:
         return len(self._resident)
 
+    def resident_state(self, tenant: str) -> Optional[TenantState]:
+        """The tenant's live state if resident (no LRU side effects)."""
+        return self._resident.get(tenant)
+
     def apply_batch(
         self,
         tenant: str,
@@ -408,6 +584,21 @@ class TenantStore:
         """Apply one journalled batch during respawn recovery."""
         self.apply_batch(tenant, bid, pcs, targets)
 
+    def adopt(self, tenant: str, meta: TenantMeta,
+              state: Optional[TenantState] = None) -> None:
+        """Install a tenant recovered from a checkpoint.
+
+        ``state`` (a warm predictor + stream) makes the tenant resident
+        immediately; without it the tenant is adopted *cold* — counters
+        and digest chain only — and its predictor is rebuilt by replay on
+        its next batch, exactly like a post-eviction reload.
+        """
+        self.meta[tenant] = meta
+        if state is not None:
+            while len(self._resident) >= self.max_resident:
+                self.evict(next(iter(self._resident)))
+            self._resident[tenant] = state
+
     # -- residency -----------------------------------------------------------
 
     def _state(self, tenant: str) -> TenantState:
@@ -427,6 +618,12 @@ class TenantStore:
         if meta is None or meta.events == 0:
             return state  # brand-new tenant: nothing to replay
         trace = self.cache.load(self._cache_key(tenant))
+        if trace is not None and len(trace.pcs) < meta.events:
+            # A parked stream from before a crash the checkpoint already
+            # recovered past: shorter than the counters, so provably
+            # stale, not divergent.  Fall through to the authoritative
+            # (checkpoint + journal) stream instead of dying on it.
+            trace = None
         if trace is not None:
             pcs: Sequence[int] = trace.pcs
             targets: Sequence[int] = trace.targets
@@ -439,6 +636,14 @@ class TenantStore:
                 f"tenant {tenant!r} has {meta.events} accepted events but "
                 f"no parked stream to rebuild from"
             ).with_context(tenant=tenant)
+        if len(pcs) > meta.events:
+            # Journal-before-apply: the journal (and hence a stream read
+            # from it) may already hold the batch being applied right
+            # now, or — during a recovery tail replay — records not yet
+            # replayed.  The accepted stream is exactly the first
+            # ``meta.events`` events of that append-only prefix.
+            pcs = pcs[:meta.events]
+            targets = targets[:meta.events]
         misses = state.rebuild(pcs, targets)
         if len(pcs) != meta.events or misses != meta.misses:
             raise ServiceError(

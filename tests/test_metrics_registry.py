@@ -323,6 +323,48 @@ class TestConsole:
                        "shard_respawn", "p50", "down"):
             assert needle in text, needle
 
+    def test_shard_rows_mark_respawned_shards(self):
+        rows = shard_rows(canned_stats(), rates={0: 0.0}, respawned={0})
+        assert rows[0][1] == "respawned"
+        assert rows[0][4] == "0"
+
+    def test_top_clamps_counter_resets_to_zero(self, monkeypatch):
+        """A shard respawn resets shard.* counters; the dashboard must
+        show rate 0 + state ``respawned`` for one interval, never a
+        negative/garbage rate."""
+        import io
+
+        from repro.service import console
+
+        def stats_with_events(events):
+            stats = canned_stats()
+            registry = MetricsRegistry()
+            registry.counter("shard.events").inc(events)
+            registry.histogram("shard.batch_seconds").observe(0.004)
+            stats["shards"][0]["metrics"] = registry.snapshot()
+            return stats
+
+        # Frame 1 baseline 640; frame 2 the counter has gone BACKWARDS
+        # to 100 (respawn); frame 3 it advances again.
+        frames = iter([stats_with_events(640), stats_with_events(100),
+                       stats_with_events(200)])
+        monkeypatch.setattr(console, "fetch_stats",
+                            lambda host, port: next(frames))
+        ticks = iter([0.0, 1.0, 2.0])
+        sink = io.StringIO()
+        code = console.run_top("h", 1, interval=0.0, iterations=3,
+                               plain=True, stream=sink,
+                               clock=lambda: next(ticks), sleep=lambda s: None)
+        assert code == 0
+        out = sink.getvalue()
+        assert "respawned" in out
+        assert "-540" not in out and "-440" not in out
+        # Frame 3: the shard is plain "up" again and rates resume
+        # ((200 - 100) / 1s).
+        final_frame = out.rsplit("frame 3", 1)[1]
+        assert "respawned" not in final_frame
+        assert "100" in final_frame
+
 
 # -- bench trend gate ---------------------------------------------------------
 

@@ -60,6 +60,10 @@ TRACKED = {
     "BENCH_attribution_overhead.json": [
         ("instrumented_overhead.ratio", "lower"),
     ],
+    "BENCH_recovery.json": [
+        ("headline.speedup_vs_full_replay", "higher"),
+        ("headline.snapshot_recovery_s", "lower"),
+    ],
 }
 
 

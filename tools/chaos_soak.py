@@ -18,7 +18,9 @@ acceptance contract, enforced per run:
 
 ``--mode service`` soaks the serving stack instead: each seed runs
 ``repro serve`` under its chaos plan (shard crashes, slow shards, accept
-EIO, tenant churn, journal faults), drives it with ``repro loadgen``,
+EIO, tenant churn, journal faults, SIGKILL at a seeded step of the
+checkpoint compaction protocol, checkpoint corruption before recovery
+reads it), drives it with ``repro loadgen``,
 and enforces the serving contract — every batch answered or explicitly
 shed, zero client-side inconsistencies, and the final per-tenant digests
 bit-identical to an offline ``repro replay`` of the accepted stream via
@@ -110,7 +112,12 @@ def soak_one_service(seed, out_dir, shards):
     row = {"seed": seed, "workers": shards, "exit": None, "resumes": 0}
     server = subprocess.Popen(
         repro_cmd("serve", SERVICE_SPEC, "--run-dir", str(run_dir),
-                  "--shards", str(shards), "--chaos-seed", str(seed)),
+                  "--shards", str(shards), "--chaos-seed", str(seed),
+                  # Low enough that every seed crosses compaction at
+                  # least once, arming the service.compact (SIGKILL
+                  # mid-protocol) and service.checkpoint (corrupt
+                  # checkpoint pre-read) fault points in the plan.
+                  "--checkpoint-interval", "4"),
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=_ENV,
     )
     try:
